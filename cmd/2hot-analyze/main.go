@@ -1,0 +1,80 @@
+// Command 2hot-analyze post-processes an SDF snapshot: it measures the matter
+// power spectrum, finds FOF halos with spherical-overdensity masses, and
+// prints the mass function together with the Tinker08 prediction — the
+// analysis half of the paper's pipeline (Section 3.4.5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twohot/internal/cosmo"
+	"twohot/internal/grid"
+	"twohot/internal/halo"
+	"twohot/internal/massfunc"
+	"twohot/internal/sdf"
+	"twohot/internal/transfer"
+)
+
+func main() {
+	mesh := flag.Int("mesh", 64, "power-spectrum mesh size")
+	minMembers := flag.Int("min-members", 20, "minimum FOF halo membership")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: 2hot-analyze [flags] snapshot.sdf")
+		os.Exit(2)
+	}
+	snap, err := sdf.Read(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("snapshot: %d particles, a=%.4f, L=%g Mpc/h, cosmology %s\n",
+		snap.Particles.Len(), snap.ScaleFac, snap.BoxSize, snap.Cosmology)
+
+	ps := grid.MeasureParticlePower(snap.Particles.Pos, snap.BoxSize, *mesh, grid.PowerSpectrumOptions{})
+	fmt.Println("\npower spectrum:")
+	for i, p := range ps {
+		if i%4 == 0 {
+			fmt.Printf("  k=%.4f h/Mpc  P=%.5g (Mpc/h)^3  (%d modes)\n", p.K, p.P, p.Modes)
+		}
+	}
+
+	opt := halo.Options{BoxSize: snap.BoxSize, MinMembers: *minMembers}
+	halos := halo.FOF(snap.Particles.Pos, snap.Particles.Mass, opt)
+	halo.SphericalOverdensity(snap.Particles.Pos, snap.Particles.Mass, halos, opt)
+	fmt.Printf("\n%d FOF halos (>= %d members)\n", len(halos), *minMembers)
+	for i, h := range halos {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %3d  N=%6d  M_FOF=%.3e  M200b=%.3e Msun/h  R200b=%.3f Mpc/h\n",
+			i, h.N, h.Mass*1e10, h.M200b*1e10, h.R200b)
+	}
+
+	if snap.Cosmology != "" {
+		if par, err := cosmo.ByName(snap.Cosmology); err == nil {
+			spec := transfer.NewSpectrum(par, transfer.EisensteinHu)
+			pred := massfunc.NewPredictor(par, spec, 1/snap.ScaleFac-1)
+			var masses []float64
+			for _, h := range halos {
+				if h.M200b > 0 {
+					masses = append(masses, h.M200b)
+				}
+			}
+			if len(masses) > 1 {
+				bins := massfunc.Measure(masses, snap.BoxSize, masses[len(masses)-1], masses[0]*1.001, 6)
+				m, ratio, perr := pred.RatioToFit(massfunc.Tinker08, bins)
+				fmt.Println("\nmass function / Tinker08:")
+				for i := range m {
+					fmt.Printf("  M200b=%.3e Msun/h  ratio=%.2f +- %.2f\n", m[i]*1e10, ratio[i], perr[i])
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "2hot-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command 2hot-bench regenerates the cheap tables/figures of the paper
+// without going through `go test -bench`.  The complete set of harnesses
+// (Tables 1-3, Figures 5-8, and the ablations) lives in bench_test.go at the
+// repository root; this tool exposes the ones that finish in seconds for
+// quick interactive use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"twohot/internal/core"
+	"twohot/internal/multipole"
+	"twohot/internal/vec"
+)
+
+func main() {
+	fig6 := flag.Bool("fig6", true, "print the Figure 6 multipole error table")
+	table3 := flag.Bool("table3", true, "run the Table 3 monopole micro-kernel")
+	ablation := flag.Bool("ablation-bg", false, "run the background-subtraction ablation (slower)")
+	flag.Parse()
+
+	if *table3 {
+		runTable3()
+	}
+	if *fig6 {
+		runFigure6()
+	}
+	if *ablation {
+		runAblation()
+	}
+	fmt.Println("\nFor Tables 1-2 and Figures 5, 7, 8 run:  go test -bench=. -benchtime=1x .")
+}
+
+func runTable3() {
+	const m, n = 256, 64
+	rng := rand.New(rand.NewSource(1))
+	src := multipole.NewSource32(m)
+	for j := 0; j < m; j++ {
+		src.Append(rng.Float32(), rng.Float32(), rng.Float32(), 1)
+	}
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	zs := make([]float32, n)
+	for i := range xs {
+		xs[i], ys[i], zs[i] = rng.Float32(), rng.Float32(), rng.Float32()
+	}
+	snk := multipole.NewSink32(xs, ys, zs)
+	iters := 3000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		multipole.BlockedMonopole32(src, snk, 1e-6)
+	}
+	el := time.Since(start).Seconds()
+	flops := float64(iters) * float64(m*n) * multipole.FlopsPerMonopole
+	fmt.Printf("Table 3 (this machine): blocked monopole micro-kernel %.2f Gflop/s (28 flops/interaction)\n", flops/el/1e9)
+}
+
+func runFigure6() {
+	rng := rand.New(rand.NewSource(42))
+	const n = 512
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
+		mass[i] = 1.0 / n
+	}
+	center := vec.V3{0.5, 0.5, 0.5}
+	fmt.Println("\nFigure 6: relative error of a single multipole vs distance (512 particles)")
+	fmt.Printf("%6s %12s %12s %12s %12s %12s %12s\n", "r", "p=0", "p=2", "p=4", "p=6", "p=8", "float32")
+	for _, r := range []float64{1.0, 2.0, 3.0, 4.0} {
+		x := center.Add(vec.V3{r, 0, 0})
+		var ref vec.V3
+		for i := range pos {
+			d := pos[i].Sub(x)
+			rr := d.Norm()
+			ref = ref.Add(d.Scale(mass[i] / (rr * rr * rr)))
+		}
+		row := fmt.Sprintf("%6.2f", r)
+		for _, p := range []int{0, 2, 4, 6, 8} {
+			e := multipole.NewExpansion(p, center)
+			e.AddParticles(pos, mass)
+			res := e.Evaluate(x)
+			row += fmt.Sprintf(" %12.3e", res.Acc.Sub(ref).Norm()/ref.Norm())
+		}
+		a32, _ := core.Direct32Forces(pos, mass, x)
+		row += fmt.Sprintf(" %12.3e", a32.Sub(ref).Norm()/ref.Norm())
+		fmt.Println(row)
+	}
+}
+
+func runAblation() {
+	rng := rand.New(rand.NewSource(7))
+	nSide := 20
+	h := 1.0 / float64(nSide)
+	var pos []vec.V3
+	var mass []float64
+	for i := 0; i < nSide; i++ {
+		for j := 0; j < nSide; j++ {
+			for k := 0; k < nSide; k++ {
+				pos = append(pos, vec.V3{
+					vec.PeriodicWrap((float64(i)+0.5)*h+0.02*h*rng.NormFloat64(), 1),
+					vec.PeriodicWrap((float64(j)+0.5)*h+0.02*h*rng.NormFloat64(), 1),
+					vec.PeriodicWrap((float64(k)+0.5)*h+0.02*h*rng.NormFloat64(), 1),
+				})
+				mass = append(mass, 1)
+			}
+		}
+	}
+	base := core.TreeConfig{Order: 4, ErrTol: 1e-5, Periodic: true, BoxSize: 1, WS: 1}
+	with := base
+	with.BackgroundSubtraction = true
+	rBG, _ := core.NewTreeSolver(with).Forces(pos, mass)
+	rNo, _ := core.NewTreeSolver(base).Forces(pos, mass)
+	tBG := rBG.Counters.P2P + rBG.Counters.CellInteractions()
+	tNo := rNo.Counters.P2P + rNo.Counters.CellInteractions()
+	fmt.Printf("\nBackground-subtraction ablation (N=%d^3): %d vs %d interactions, factor %.2f\n",
+		nSide, tBG, tNo, float64(tNo)/float64(tBG))
+}

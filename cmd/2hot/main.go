@@ -1,0 +1,68 @@
+// Command 2hot runs a cosmological N-body simulation described by a JSON
+// configuration file (see twohot.DefaultConfig and README.md), writing
+// progress to stdout and a final SDF snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	twohot "twohot"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON configuration file (empty: built-in default)")
+	dumpDefault := flag.Bool("print-default-config", false, "print the default configuration and exit")
+	restart := flag.String("restart", "", "checkpoint file to restart from")
+	out := flag.String("o", "snapshot_final.sdf", "output snapshot path")
+	flag.Parse()
+
+	if *dumpDefault {
+		cfg := twohot.DefaultConfig()
+		if err := cfg.Save("/dev/stdout"); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := twohot.DefaultConfig()
+	if *cfgPath != "" {
+		var err error
+		cfg, err = twohot.LoadConfig(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	sim, err := twohot.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *restart != "" {
+		if err := sim.RestoreCheckpoint(*restart); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restarted from %s at z=%.2f (leapfrog offset preserved)\n", *restart, sim.Redshift())
+	} else {
+		if err := sim.GenerateICs(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("generated %d particles at z=%.2f\n", sim.NumParticles(), sim.Redshift())
+	}
+
+	err = sim.Run(func(step int, z float64) {
+		fmt.Printf("step %4d  z=%7.3f\n", step, z)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := sim.WriteCheckpoint(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "2hot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,182 @@
+package twohot
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"twohot/internal/cosmo"
+	"twohot/internal/softening"
+	"twohot/internal/traverse"
+)
+
+// SolverKind selects the gravity solver.
+type SolverKind string
+
+const (
+	// SolverTree is the 2HOT hashed oct-tree solver (the paper's method).
+	SolverTree SolverKind = "tree"
+	// SolverTreePM is the GADGET-2-style TreePM baseline (mesh long range +
+	// direct short range with an erfc split).
+	SolverTreePM SolverKind = "treepm"
+	// SolverPM is a pure particle-mesh solver.
+	SolverPM SolverKind = "pm"
+	// SolverDirect is the O(N^2) reference (verification only).
+	SolverDirect SolverKind = "direct"
+)
+
+// Config fully describes a simulation.  The zero value is not runnable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	Name string `json:"name"`
+
+	// Cosmology.
+	Cosmology string  `json:"cosmology"` // planck2013, wmap7, wmap1, eds
+	Sigma8    float64 `json:"sigma8,omitempty"`
+
+	// Initial conditions.
+	BoxSize    float64 `json:"box_size"` // Mpc/h
+	NGrid      int     `json:"n_grid"`   // particles per dimension
+	ZInit      float64 `json:"z_init"`
+	Seed       int64   `json:"seed"`
+	Use2LPT    bool    `json:"use_2lpt"`
+	UseDEC     bool    `json:"use_dec"`
+	SphereMode bool    `json:"sphere_mode"`
+
+	// Force solver.
+	Solver                SolverKind `json:"solver"`
+	Order                 int        `json:"order"`
+	ErrTol                float64    `json:"err_tol"`
+	MAC                   string     `json:"mac"` // "abs" or "bh"
+	Theta                 float64    `json:"theta"`
+	BackgroundSubtraction bool       `json:"background_subtraction"`
+	WS                    int        `json:"ws"`
+	LatticeOrder          int        `json:"lattice_order"`
+	Kernel                string     `json:"kernel"`         // plummer, spline, dehnen-k1
+	SofteningFrac         float64    `json:"softening_frac"` // fraction of the mean interparticle separation
+	Softening             float64    `json:"softening"`      // absolute override (Mpc/h)
+	PMGrid                int        `json:"pm_grid"`        // mesh for pm/treepm
+	Asmth                 float64    `json:"asmth"`          // treepm split in mesh cells
+	Workers               int        `json:"workers"`
+
+	// Time integration.
+	ZFinal float64 `json:"z_final"`
+	NSteps int     `json:"n_steps"` // number of equal steps in ln(a)
+
+	// Output.
+	OutputDir string `json:"output_dir"`
+}
+
+// DefaultConfig returns a small but complete cosmological configuration.
+func DefaultConfig() Config {
+	return Config{
+		Name:                  "quick-box",
+		Cosmology:             "planck2013",
+		BoxSize:               128,
+		NGrid:                 32,
+		ZInit:                 24,
+		Seed:                  12345,
+		Use2LPT:               true,
+		UseDEC:                true,
+		Solver:                SolverTree,
+		Order:                 4,
+		ErrTol:                1e-5,
+		MAC:                   "abs",
+		Theta:                 0.6,
+		BackgroundSubtraction: true,
+		WS:                    1,
+		LatticeOrder:          2,
+		Kernel:                "dehnen-k1",
+		SofteningFrac:         1.0 / 20.0,
+		PMGrid:                64,
+		Asmth:                 1.25,
+		ZFinal:                0,
+		NSteps:                32,
+	}
+}
+
+// Validate checks the configuration for obvious inconsistencies.
+func (c *Config) Validate() error {
+	if c.BoxSize <= 0 {
+		return fmt.Errorf("config: box_size must be positive")
+	}
+	if c.NGrid < 2 {
+		return fmt.Errorf("config: n_grid must be at least 2")
+	}
+	if c.ZInit <= c.ZFinal {
+		return fmt.Errorf("config: z_init (%g) must exceed z_final (%g)", c.ZInit, c.ZFinal)
+	}
+	if c.NSteps < 1 {
+		return fmt.Errorf("config: n_steps must be at least 1")
+	}
+	if _, err := cosmo.ByName(c.Cosmology); err != nil {
+		return err
+	}
+	switch c.Solver {
+	case SolverTree, SolverTreePM, SolverPM, SolverDirect:
+	default:
+		return fmt.Errorf("config: unknown solver %q", c.Solver)
+	}
+	if _, ok := softening.ParseKernel(c.Kernel); !ok {
+		return fmt.Errorf("config: unknown kernel %q", c.Kernel)
+	}
+	if c.MAC != "" && c.MAC != "abs" && c.MAC != "bh" {
+		return fmt.Errorf("config: mac must be \"abs\" or \"bh\"")
+	}
+	if c.Order < 0 || c.Order > 8 {
+		return fmt.Errorf("config: order must be between 0 and 8")
+	}
+	return nil
+}
+
+// macType converts the MAC string.
+func (c *Config) macType() traverse.MACType {
+	if c.MAC == "bh" {
+		return traverse.MACBarnesHut
+	}
+	return traverse.MACAbsoluteError
+}
+
+// kernel returns the parsed smoothing kernel.
+func (c *Config) kernel() softening.Kernel {
+	k, _ := softening.ParseKernel(c.Kernel)
+	return k
+}
+
+// SofteningLength returns the absolute smoothing scale in Mpc/h.
+func (c *Config) SofteningLength() float64 {
+	if c.Softening > 0 {
+		return c.Softening
+	}
+	frac := c.SofteningFrac
+	if frac == 0 {
+		frac = 1.0 / 20.0
+	}
+	sep := c.BoxSize / float64(c.NGrid)
+	return frac * sep
+}
+
+// LoadConfig reads a JSON configuration file.
+func LoadConfig(path string) (Config, error) {
+	var c Config
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// Save writes the configuration as JSON.
+func (c Config) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

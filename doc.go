@@ -1,0 +1,28 @@
+// Package twohot is a from-scratch Go implementation of 2HOT, the improved
+// parallel hashed oct-tree N-body algorithm for cosmological simulation of
+// Warren (SC '13).  The root package exposes the user-facing API: a Config
+// describing a simulation (cosmology, initial conditions, force solver, time
+// stepping, outputs), a Simulation that runs it, and measurement helpers
+// (power spectra, halo catalogs, mass functions).  The algorithmic machinery
+// lives in the internal packages:
+//
+//	internal/keys       space-filling-curve keys (the "hashed" in HOT)
+//	internal/multipole  Cartesian multipole expansions to order p=8, error bounds
+//	internal/cube       analytic homogeneous-cube fields (background subtraction)
+//	internal/tree       the hashed oct-tree (local and distributed)
+//	internal/traverse   the MAC, interaction lists, background subtraction, periodic replicas
+//	internal/core       the assembled force solvers (tree, direct, Ewald, distributed)
+//	internal/comm       the message-passing runtime (ranks, collectives, ABM)
+//	internal/domain     space-filling-curve domain decomposition
+//	internal/cosmo      Friedmann background, growth factors, drift/kick integrals
+//	internal/transfer   Eisenstein-Hu linear power spectra
+//	internal/ic         Zel'dovich and 2LPT initial conditions
+//	internal/pm         particle-mesh / TreePM baseline (the GADGET-2 stand-in)
+//	internal/halo       FOF and spherical-overdensity halo finding
+//	internal/massfunc   mass functions and the Tinker08 / Warren06 fits
+//	internal/sdf        self-describing file format snapshots and checkpoints
+//	internal/stask      dependency-aware task queue for analysis pipelines
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper.
+package twohot

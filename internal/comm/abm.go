@@ -1,0 +1,165 @@
+package comm
+
+import (
+	"sync"
+)
+
+// ABM is the Asynchronous Batched Message layer of Section 3.2: an
+// active-message abstraction in which requests (batches of 64-bit keys,
+// in practice hashed oct-tree cell keys) are shipped to the owning rank,
+// processed by an event-driven handler against that rank's read-only data,
+// and answered with an opaque reply per key.  Requests to the same
+// destination are batched to amortize message overhead, and replies can be
+// consumed asynchronously so that tree traversal overlaps communication with
+// computation.
+//
+// The handler runs on a service goroutine of the owning rank concurrently
+// with that rank's own computation, so it must only read data that is
+// immutable while the ABM is open (the built tree).
+type ABM struct {
+	rank    *Rank
+	handler Handler
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	pending map[int][]uint64      // destination -> batched keys
+	waiters map[uint64]*abmFuture // request id -> future
+	nextID  uint64
+
+	batchSize int
+}
+
+// Handler answers a batch of keys requested by rank src.  It must return one
+// reply per key, in order.
+type Handler func(src int, keys []uint64) [][]byte
+
+type abmRequest struct {
+	src  int
+	id   uint64
+	keys []uint64
+}
+
+type abmReply struct {
+	id   uint64
+	data [][]byte
+}
+
+type abmFuture struct {
+	done chan struct{}
+	data [][]byte
+	keys []uint64
+}
+
+const (
+	tagABMRequest = 9000
+	tagABMReply   = 9001
+	tagABMStop    = 9002
+)
+
+// DefaultBatchSize is the number of keys accumulated per destination before
+// a request batch is flushed automatically.
+const DefaultBatchSize = 64
+
+// NewABM opens the active-message layer on this rank with the given handler.
+// Every rank in the world must open an ABM (with its own handler) before any
+// rank issues requests, which is guaranteed by the internal barrier.
+func (r *Rank) NewABM(handler Handler) *ABM {
+	a := &ABM{
+		rank:      r,
+		handler:   handler,
+		stop:      make(chan struct{}),
+		pending:   make(map[int][]uint64),
+		waiters:   make(map[uint64]*abmFuture),
+		batchSize: DefaultBatchSize,
+	}
+	a.wg.Add(1)
+	go a.serve()
+	r.Barrier()
+	return a
+}
+
+// serve processes incoming requests and replies until Close.
+func (a *ABM) serve() {
+	defer a.wg.Done()
+	for {
+		payload, src := a.rank.Recv(-1, -1)
+		switch msg := payload.(type) {
+		case abmRequest:
+			a.rank.world.mu.Lock()
+			a.rank.world.stats.ABMRequests += int64(len(msg.keys))
+			a.rank.world.stats.ABMBatches++
+			a.rank.world.mu.Unlock()
+			data := a.handler(src, msg.keys)
+			a.rank.Send(src, tagABMReply, abmReply{id: msg.id, data: data})
+		case abmReply:
+			a.mu.Lock()
+			f := a.waiters[msg.id]
+			delete(a.waiters, msg.id)
+			a.mu.Unlock()
+			if f != nil {
+				f.data = msg.data
+				close(f.done)
+			}
+		case string:
+			if msg == "stop" {
+				return
+			}
+		}
+	}
+}
+
+// Request enqueues keys destined for rank dst and returns a Future that
+// resolves once the (batched) request has been answered.  Batches are flushed
+// when they reach the batch size or when Flush/Wait is called.
+func (a *ABM) Request(dst int, keys []uint64) *Future {
+	f := a.flushLockedAppend(dst, keys)
+	return f
+}
+
+// RequestSync is a convenience wrapper that flushes immediately and waits.
+func (a *ABM) RequestSync(dst int, keys []uint64) [][]byte {
+	a.mu.Lock()
+	id := a.nextID
+	a.nextID++
+	fut := &abmFuture{done: make(chan struct{}), keys: keys}
+	a.waiters[id] = fut
+	a.mu.Unlock()
+	a.rank.Send(dst, tagABMRequest, abmRequest{src: a.rank.ID, id: id, keys: keys})
+	<-fut.done
+	return fut.data
+}
+
+// Future resolves to the replies for one batch of keys.
+type Future struct {
+	fut  *abmFuture
+	keys []uint64
+}
+
+// Wait blocks until the replies are available and returns them, one per key
+// in the order the keys were requested.
+func (f *Future) Wait() ([][]byte, []uint64) {
+	<-f.fut.done
+	return f.fut.data, f.keys
+}
+
+func (a *ABM) flushLockedAppend(dst int, keys []uint64) *Future {
+	a.mu.Lock()
+	id := a.nextID
+	a.nextID++
+	fut := &abmFuture{done: make(chan struct{}), keys: keys}
+	a.waiters[id] = fut
+	a.mu.Unlock()
+	a.rank.Send(dst, tagABMRequest, abmRequest{src: a.rank.ID, id: id, keys: keys})
+	return &Future{fut: fut, keys: keys}
+}
+
+// Close shuts down the service goroutine on every rank.  It must be called
+// collectively (all ranks) after all requests have been answered.
+func (a *ABM) Close() {
+	a.rank.Barrier()
+	a.rank.Send(a.rank.ID, tagABMStop, "stop")
+	a.wg.Wait()
+	a.rank.Barrier()
+}

@@ -1,0 +1,126 @@
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPointToPointAndBarrier(t *testing.T) {
+	w := NewWorld(4)
+	var counter int64
+	w.Run(func(r *Rank) {
+		// Ring send: each rank sends its id to the next.
+		next := (r.ID + 1) % r.N()
+		r.Send(next, 7, []int{r.ID})
+		payload, src := r.Recv((r.ID-1+r.N())%r.N(), 7)
+		got := payload.([]int)[0]
+		if got != src {
+			t.Errorf("rank %d received %d from %d", r.ID, got, src)
+		}
+		r.Barrier()
+		atomic.AddInt64(&counter, 1)
+		r.Barrier()
+		if atomic.LoadInt64(&counter) != int64(r.N()) {
+			t.Errorf("barrier did not synchronize")
+		}
+	})
+}
+
+func TestCollectives(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(r *Rank) {
+		sum := r.AllreduceFloat64(float64(r.ID+1), "sum")
+		if sum != 15 {
+			t.Errorf("allreduce sum = %g", sum)
+		}
+		if mx := r.AllreduceFloat64(float64(r.ID), "max"); mx != 4 {
+			t.Errorf("allreduce max = %g", mx)
+		}
+		if mn := r.AllreduceFloat64(float64(r.ID), "min"); mn != 0 {
+			t.Errorf("allreduce min = %g", mn)
+		}
+		v := r.Broadcast(2, fmt.Sprintf("hello-%d", r.ID))
+		if v.(string) != "hello-2" {
+			t.Errorf("broadcast got %v", v)
+		}
+		all := r.AllgatherUint64([]uint64{uint64(r.ID), uint64(r.ID * 10)})
+		if len(all) != 10 {
+			t.Errorf("allgather length %d", len(all))
+		}
+	})
+}
+
+func TestAlltoallVariantsAgree(t *testing.T) {
+	for _, algo := range []AlltoallAlgorithm{AlltoallDirect, AlltoallPairwise, AlltoallHierarchical} {
+		for _, n := range []int{1, 2, 3, 4, 7} {
+			w := NewWorld(n)
+			w.Run(func(r *Rank) {
+				send := make([][]byte, n)
+				for dst := 0; dst < n; dst++ {
+					send[dst] = []byte(fmt.Sprintf("from %d to %d", r.ID, dst))
+				}
+				recv := r.AlltoallvBytes(send, algo)
+				for src := 0; src < n; src++ {
+					want := fmt.Sprintf("from %d to %d", src, r.ID)
+					if string(recv[src]) != want {
+						t.Errorf("algo %d n=%d rank %d: got %q want %q", algo, n, r.ID, recv[src], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestABMRequestReply(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(r *Rank) {
+		abm := r.NewABM(func(src int, keys []uint64) [][]byte {
+			out := make([][]byte, len(keys))
+			for i, k := range keys {
+				out[i] = []byte(fmt.Sprintf("rank %d key %d", r.ID, k))
+			}
+			return out
+		})
+		// Every rank asks every other rank for two keys.
+		for dst := 0; dst < r.N(); dst++ {
+			if dst == r.ID {
+				continue
+			}
+			replies := abm.RequestSync(dst, []uint64{uint64(r.ID * 100), uint64(r.ID*100 + 1)})
+			if len(replies) != 2 {
+				t.Errorf("expected 2 replies, got %d", len(replies))
+				continue
+			}
+			want := fmt.Sprintf("rank %d key %d", dst, r.ID*100)
+			if string(replies[0]) != want {
+				t.Errorf("reply %q, want %q", replies[0], want)
+			}
+		}
+		abm.Close()
+	})
+	stats := w.Statistics()
+	if stats.ABMRequests == 0 || stats.ABMBatches == 0 {
+		t.Error("ABM statistics not recorded")
+	}
+}
+
+func TestWorldStatistics(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 1, []byte("abc"))
+		} else {
+			r.Recv(0, 1)
+		}
+		r.Barrier()
+	})
+	s := w.Statistics()
+	if s.PointToPointMsgs != 1 || s.PointToPointBytes != 3 {
+		t.Errorf("stats %+v", s)
+	}
+	w.ResetStatistics()
+	if w.Statistics().PointToPointMsgs != 0 {
+		t.Error("reset failed")
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"twohot/internal/comm"
+	"twohot/internal/domain"
+	"twohot/internal/keys"
+	"twohot/internal/particle"
+	"twohot/internal/softening"
+	"twohot/internal/traverse"
+	"twohot/internal/tree"
+	"twohot/internal/vec"
+)
+
+// DistributedConfig configures a distributed (message-passing) force step.
+type DistributedConfig struct {
+	Tree TreeConfig
+
+	NRanks int
+	Curve  keys.Curve
+
+	Alltoall comm.AlltoallAlgorithm
+	// BranchExchange selects how the shared upper-tree branch cells are
+	// distributed: "allgather" is the WS93 global concatenation, "ring" is
+	// the 2HOT hierarchical pairwise aggregation that scales to very large
+	// rank counts.
+	BranchExchange string
+
+	// UseWorkWeights balances domains by the per-particle interaction counts
+	// of the previous step rather than by particle number.
+	UseWorkWeights bool
+}
+
+// DistributedResult aggregates the outcome of a distributed step.
+type DistributedResult struct {
+	Timings      Timings
+	Counters     traverse.Counters
+	Comm         comm.Stats
+	NRanks       int
+	Imbalance    float64 // max/mean traversal time across ranks
+	ParticlesOut *particle.Set
+	// PerRankTraversal records each rank's traversal wall-clock time.
+	PerRankTraversal []time.Duration
+}
+
+// DistributedStep performs one complete distributed force calculation for the
+// particles in set: domain decomposition (parallel sample sort and particle
+// exchange), local tree builds, branch exchange, shared upper-tree assembly,
+// and the request/reply (ABM) dual traversal.  It returns the particles with
+// their accelerations filled in (order is NOT preserved: particles come back
+// grouped by owning rank) together with the stage timings of Table 2.
+func DistributedStep(set *particle.Set, cfg DistributedConfig) (*DistributedResult, error) {
+	cfg.Tree.defaults()
+	if cfg.NRanks < 1 {
+		cfg.NRanks = 1
+	}
+	if set.Len() < cfg.NRanks*2 {
+		return nil, fmt.Errorf("core: %d particles is too few for %d ranks", set.Len(), cfg.NRanks)
+	}
+	world := comm.NewWorld(cfg.NRanks)
+
+	var box vec.Box
+	if cfg.Tree.Periodic {
+		box = vec.CubeBox(vec.V3{}, cfg.Tree.BoxSize)
+	} else {
+		box = vec.BoundingBox(set.Pos).Cubed(1e-3)
+	}
+	totalMass := set.TotalMass()
+	rhoBar := 0.0
+	if cfg.Tree.BackgroundSubtraction {
+		rhoBar = totalMass / box.Volume()
+	}
+	accTol := cfg.Tree.ErrTol * totalMass / (box.MaxSide() / 2 * box.MaxSide() / 2)
+
+	// Initial ownership: contiguous chunks of the input ordering.
+	perRank := make([]*particle.Set, cfg.NRanks)
+	chunk := (set.Len() + cfg.NRanks - 1) / cfg.NRanks
+	for r := 0; r < cfg.NRanks; r++ {
+		lo, hi := r*chunk, (r+1)*chunk
+		if hi > set.Len() {
+			hi = set.Len()
+		}
+		perRank[r] = particle.New(hi - lo)
+		for i := lo; i < hi; i++ {
+			perRank[r].AppendFrom(set, i)
+		}
+	}
+
+	type rankOutcome struct {
+		timings   Timings
+		counters  traverse.Counters
+		traversal time.Duration
+	}
+	outcomes := make([]rankOutcome, cfg.NRanks)
+	start := time.Now()
+
+	world.Run(func(r *comm.Rank) {
+		my := perRank[r.ID]
+		out := &outcomes[r.ID]
+
+		// --- Domain decomposition -------------------------------------
+		t0 := time.Now()
+		decomp := domain.Decompose(r, my, box, domain.Options{
+			Curve:    cfg.Curve,
+			Alltoall: cfg.Alltoall,
+			UseWork:  cfg.UseWorkWeights,
+		}, nil)
+		out.timings.DomainDecomposition = time.Since(t0)
+
+		// --- Local tree construction -----------------------------------
+		t0 = time.Now()
+		keyLo := uint64(1) << 63 // smallest body key (placeholder bit)
+		keyHi := ^uint64(0)
+		if r.ID > 0 {
+			keyLo = decomp.Splitters[r.ID-1]
+		}
+		if r.ID < r.N()-1 {
+			keyHi = decomp.Splitters[r.ID]
+		}
+		dt, err := tree.NewDistributed(my.Pos, my.Mass, box, tree.Options{
+			Order:    cfg.Tree.Order,
+			LeafSize: cfg.Tree.LeafSize,
+			RhoBar:   rhoBar,
+			Rank:     r.ID,
+		}, keyLo, keyHi)
+		if err != nil {
+			panic(err)
+		}
+		localBuild := time.Since(t0)
+
+		// --- Branch exchange and shared upper tree ---------------------
+		t0 = time.Now()
+		exchangeBranches(r, dt, cfg.BranchExchange)
+		dt.BuildUpper()
+		out.timings.Communication += time.Since(t0)
+		out.timings.TreeBuild = localBuild + time.Since(t0)
+
+		// --- Traversal with ABM request/reply ---------------------------
+		// The ABM handler runs concurrently with this rank's own traversal,
+		// which grows the tree's cell table with fetched remote cells.  It
+		// therefore serves requests from an immutable snapshot of the
+		// *local* cells built here, never touching the live hash table.
+		localChildren := make(map[uint64][]*tree.Cell)
+		for _, c := range dt.Cell {
+			if c.Remote || c.Owner != r.ID {
+				continue
+			}
+			var kids []*tree.Cell
+			for oct := 0; oct < 8; oct++ {
+				if c.ChildIdx[oct] != tree.NoChild {
+					kids = append(kids, dt.Cell[c.ChildIdx[oct]])
+				}
+			}
+			localChildren[uint64(c.Key)] = kids
+		}
+		abm := r.NewABM(func(src int, reqKeys []uint64) [][]byte {
+			replies := make([][]byte, len(reqKeys))
+			for i, k := range reqKeys {
+				replies[i] = dt.EncodeCells(localChildren[k])
+			}
+			return replies
+		})
+		var commWait time.Duration
+		dt.FetchChildren = func(c *tree.Cell) []tree.Cell {
+			tw := time.Now()
+			reply := abm.RequestSync(c.Owner, []uint64{uint64(c.Key)})
+			commWait += time.Since(tw)
+			if len(reply) == 0 {
+				return nil
+			}
+			cells, err := tree.DecodeCells(reply[0])
+			if err != nil {
+				panic(err)
+			}
+			return cells
+		}
+
+		walkCfg := traverse.Config{
+			MAC:          cfg.Tree.MAC,
+			Theta:        cfg.Tree.Theta,
+			AccTol:       accTol,
+			Kernel:       cfg.Tree.Kernel,
+			Eps:          cfg.Tree.Eps,
+			G:            cfg.Tree.G,
+			Periodic:     cfg.Tree.Periodic,
+			BoxSize:      cfg.Tree.BoxSize,
+			WS:           cfg.Tree.WS,
+			LatticeOrder: cfg.Tree.LatticeOrder,
+		}
+		t0 = time.Now()
+		w := traverse.NewWalker(dt.Tree, walkCfg)
+		acc, pot, counters := w.ForcesForAll(1)
+		out.traversal = time.Since(t0)
+		out.timings.TreeTraversal = out.traversal - commWait
+		out.timings.Communication += commWait
+		out.timings.ForceEvaluation = out.timings.TreeTraversal
+		out.counters = counters
+
+		// Scatter the results back into the rank's particle set and record
+		// per-particle work for the next decomposition.
+		perParticleWork := float64(counters.P2P+counters.CellInteractions()) / float64(maxInt(1, my.Len()))
+		for i, orig := range dt.SortIndex {
+			my.Acc[orig] = acc[i]
+			my.Pot[orig] = pot[i]
+			my.Work[orig] = perParticleWork
+		}
+
+		abm.Close()
+	})
+
+	// Aggregate.
+	res := &DistributedResult{NRanks: cfg.NRanks, Comm: world.Statistics()}
+	res.ParticlesOut = particle.New(set.Len())
+	var maxTrav, sumTrav time.Duration
+	for r := 0; r < cfg.NRanks; r++ {
+		res.Counters.Add(outcomes[r].counters)
+		res.PerRankTraversal = append(res.PerRankTraversal, outcomes[r].traversal)
+		if outcomes[r].traversal > maxTrav {
+			maxTrav = outcomes[r].traversal
+		}
+		sumTrav += outcomes[r].traversal
+		res.Timings.DomainDecomposition = maxDuration(res.Timings.DomainDecomposition, outcomes[r].timings.DomainDecomposition)
+		res.Timings.TreeBuild = maxDuration(res.Timings.TreeBuild, outcomes[r].timings.TreeBuild)
+		res.Timings.TreeTraversal = maxDuration(res.Timings.TreeTraversal, outcomes[r].timings.TreeTraversal)
+		res.Timings.Communication = maxDuration(res.Timings.Communication, outcomes[r].timings.Communication)
+		res.Timings.ForceEvaluation = maxDuration(res.Timings.ForceEvaluation, outcomes[r].timings.ForceEvaluation)
+		for i := 0; i < perRank[r].Len(); i++ {
+			res.ParticlesOut.AppendFrom(perRank[r], i)
+		}
+	}
+	meanTrav := sumTrav / time.Duration(cfg.NRanks)
+	if meanTrav > 0 {
+		res.Imbalance = float64(maxTrav) / float64(meanTrav)
+	} else {
+		res.Imbalance = 1
+	}
+	res.Timings.LoadImbalance = maxTrav - meanTrav
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+// exchangeBranches distributes every rank's branch cells to every other rank.
+func exchangeBranches(r *comm.Rank, dt *tree.Distributed, mode string) {
+	local := dt.LocalBranches()
+	encoded := dt.EncodeCells(local)
+
+	switch mode {
+	case "ring":
+		// Hierarchical pairwise aggregation (Section 3.2): exchange the
+		// accumulated branch set with the 2^i-th neighbor along the
+		// space-filling curve, log2(N) times.
+		known := [][]byte{encoded}
+		n := r.N()
+		const tagBranch = 7000
+		for step := 1; step < n; step <<= 1 {
+			dst := (r.ID + step) % n
+			src := (r.ID - step%n + n) % n
+			payload := concatBlocks(known)
+			r.Send(dst, tagBranch+step, payload)
+			data, _ := r.Recv(src, tagBranch+step)
+			if b, ok := data.([]byte); ok && len(b) > 0 {
+				known = append(known, b)
+				for _, c := range decodeAll(b) {
+					if c.Owner != r.ID {
+						dt.AddRemoteCell(c)
+					}
+				}
+			}
+		}
+		r.Barrier()
+	default: // "allgather" (WS93 global concatenation)
+		parts := r.Allgather(encoded)
+		for src, p := range parts {
+			if src == r.ID {
+				continue
+			}
+			b, ok := p.([]byte)
+			if !ok || len(b) == 0 {
+				continue
+			}
+			for _, c := range decodeAll(b) {
+				dt.AddRemoteCell(c)
+			}
+		}
+	}
+}
+
+// concatBlocks merges several EncodeCells buffers into one (cells are
+// length-prefixed so decodeAll below can parse the concatenation of decoded
+// groups; we simply re-encode by decoding and re-counting).
+func concatBlocks(blocks [][]byte) []byte {
+	if len(blocks) == 1 {
+		return blocks[0]
+	}
+	var all []tree.Cell
+	for _, b := range blocks {
+		all = append(all, decodeAll(b)...)
+	}
+	return reencode(all)
+}
+
+func decodeAll(b []byte) []tree.Cell {
+	cells, err := tree.DecodeCells(b)
+	if err != nil {
+		panic(err)
+	}
+	return cells
+}
+
+// reencode rebuilds an EncodeCells buffer from decoded cells.  It round-trips
+// through a throwaway tree because EncodeCell needs leaf particle access.
+func reencode(cells []tree.Cell) []byte {
+	t := &tree.Tree{}
+	ptrs := make([]*tree.Cell, len(cells))
+	for i := range cells {
+		ptrs[i] = &cells[i]
+	}
+	return t.EncodeCells(ptrs)
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EffectiveGflops converts an interaction-count record and a wall-clock time
+// into the paper's performance metric.
+func EffectiveGflops(c traverse.Counters, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Flops()) / elapsed.Seconds() / 1e9
+}
+
+// VerifyAgainstShared recomputes forces for the distributed result's
+// particles with the shared-memory solver and returns the error statistics
+// (matching particles by ID).  Used by tests and the Table 2 harness to show
+// the distributed and shared paths agree.
+func VerifyAgainstShared(out *particle.Set, cfg TreeConfig) (AccuracyStats, error) {
+	solver := NewTreeSolver(cfg)
+	res, err := solver.Forces(out.Pos, out.Mass)
+	if err != nil {
+		return AccuracyStats{}, err
+	}
+	return CompareAccelerations(out.Acc, res.Acc), nil
+}
+
+// SofteningForDensity returns a reasonable softening length for a
+// cosmological box: 1/20 of the mean interparticle separation (the order of
+// magnitude used by production runs).
+func SofteningForDensity(boxSize float64, np int) float64 {
+	return boxSize / math.Cbrt(float64(np)) / 20
+}
+
+// DefaultKernel is the production smoothing kernel of the paper.
+const DefaultKernel = softening.DehnenK1

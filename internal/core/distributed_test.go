@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"twohot/internal/comm"
+	"twohot/internal/particle"
+	"twohot/internal/softening"
+)
+
+func TestDistributedStepMatchesSharedSolver(t *testing.T) {
+	pos, mass := randomCluster(3000, 9)
+	set := particle.New(len(pos))
+	for i := range pos {
+		set.Append(pos[i], pos[i], mass[i], int64(i))
+	}
+	cfg := DistributedConfig{
+		Tree: TreeConfig{
+			Order: 4, ErrTol: 1e-4,
+			Kernel: softening.Plummer, Eps: 0.002,
+		},
+		NRanks:         2,
+		Alltoall:       comm.AlltoallPairwise,
+		BranchExchange: "ring",
+	}
+	res, err := DistributedStep(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParticlesOut.Len() != set.Len() {
+		t.Fatalf("particles lost: %d of %d", res.ParticlesOut.Len(), set.Len())
+	}
+	if res.Counters.P2P == 0 || res.Counters.CellInteractions() == 0 {
+		t.Error("no interactions recorded")
+	}
+	if res.Timings.Total <= 0 || res.Timings.TreeBuild <= 0 {
+		t.Error("timings not recorded")
+	}
+
+	stats, err := VerifyAgainstShared(res.ParticlesOut, cfg.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("distributed vs shared: rms=%.3g max=%.3g; imbalance=%.2f; ABM batches=%d",
+		stats.RMS, stats.Max, res.Imbalance, res.Comm.ABMBatches)
+	if stats.RMS > 5e-4 {
+		t.Errorf("distributed forces differ from the shared solver: rms %.3g", stats.RMS)
+	}
+}
+
+func TestDistributedStepAllgatherExchange(t *testing.T) {
+	pos, mass := randomCluster(1200, 10)
+	set := particle.New(len(pos))
+	for i := range pos {
+		set.Append(pos[i], pos[i], mass[i], int64(i))
+	}
+	cfg := DistributedConfig{
+		Tree:           TreeConfig{Order: 2, ErrTol: 1e-3, Kernel: softening.Plummer, Eps: 0.002},
+		NRanks:         3,
+		BranchExchange: "allgather",
+	}
+	res, err := DistributedStep(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := VerifyAgainstShared(res.ParticlesOut, cfg.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RMS > 5e-3 {
+		t.Errorf("allgather-exchange distributed forces differ: rms %.3g", stats.RMS)
+	}
+}

@@ -1,0 +1,421 @@
+// Package core assembles the paper's primary contribution: the 2HOT force
+// solvers.  The shared-memory TreeSolver couples the hashed oct-tree, the
+// Cartesian multipole machinery, background subtraction, the absolute-error
+// MAC, force smoothing and the periodic-boundary treatment into a single
+// force calculation; the DirectSolver (float64 and float32) and the Ewald
+// reference provide the lower rungs of the verification "distance ladder" of
+// Section 5; and the distributed solver (distributed.go) runs the same
+// physics across message-passing ranks with domain decomposition, branch
+// exchange and ABM tree-cell fetching.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"twohot/internal/cosmo"
+	"twohot/internal/ewald"
+	"twohot/internal/softening"
+	"twohot/internal/traverse"
+	"twohot/internal/tree"
+	"twohot/internal/vec"
+)
+
+// Result is the outcome of a force computation.
+type Result struct {
+	Acc      []vec.V3  // accelerations, in the caller's particle order
+	Pot      []float64 // kernel sums (physical potential = -Pot)
+	Counters traverse.Counters
+	Timings  Timings
+}
+
+// Timings breaks a force computation into the stages reported by Table 2.
+type Timings struct {
+	DomainDecomposition time.Duration
+	TreeBuild           time.Duration
+	TreeTraversal       time.Duration
+	Communication       time.Duration
+	ForceEvaluation     time.Duration
+	LoadImbalance       time.Duration
+	Total               time.Duration
+}
+
+// Solver is a gravitational force solver.
+type Solver interface {
+	// Forces computes accelerations and kernel sums for the particle set.
+	Forces(pos []vec.V3, mass []float64) (*Result, error)
+	Name() string
+}
+
+// TreeConfig configures the 2HOT tree solver.
+type TreeConfig struct {
+	Order    int // multipole order p (2 = quadrupole, 4 = hexadecapole, up to 8)
+	LeafSize int
+
+	MAC    traverse.MACType
+	Theta  float64 // Barnes-Hut opening angle (MACBarnesHut)
+	ErrTol float64 // dimensionless error tolerance (MACAbsoluteError); the paper's production value is 1e-5
+
+	Kernel softening.Kernel
+	Eps    float64
+
+	G float64 // gravitational constant (cosmo.G for cosmological runs, 1 for unit tests)
+
+	Periodic              bool
+	BoxSize               float64
+	BackgroundSubtraction bool
+	WS                    int // explicit replica shells for periodic runs (paper: 2)
+	LatticeOrder          int // far-lattice local expansion order (0 disables)
+
+	Workers int // traversal worker goroutines (0 = GOMAXPROCS)
+}
+
+func (c *TreeConfig) defaults() {
+	if c.Order == 0 {
+		c.Order = 4
+	}
+	if c.LeafSize == 0 {
+		c.LeafSize = 16
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.6
+	}
+	if c.ErrTol == 0 {
+		c.ErrTol = 1e-5
+	}
+	if c.G == 0 {
+		c.G = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Periodic && c.WS == 0 {
+		c.WS = 1
+	}
+}
+
+// TreeSolver is the shared-memory 2HOT solver.
+type TreeSolver struct {
+	Cfg TreeConfig
+
+	// LastTree is the most recently built tree (for inspection by tests and
+	// analysis tools).
+	LastTree *tree.Tree
+}
+
+// NewTreeSolver returns a solver with the given configuration.
+func NewTreeSolver(cfg TreeConfig) *TreeSolver {
+	cfg.defaults()
+	return &TreeSolver{Cfg: cfg}
+}
+
+// Name implements Solver.
+func (s *TreeSolver) Name() string { return "2hot-tree" }
+
+// RootBox returns the cubical root volume used for the given positions.
+func (s *TreeSolver) RootBox(pos []vec.V3) vec.Box {
+	if s.Cfg.Periodic {
+		return vec.CubeBox(vec.V3{}, s.Cfg.BoxSize)
+	}
+	return vec.BoundingBox(pos).Cubed(1e-3)
+}
+
+// AccTolAbsolute converts the dimensionless error tolerance into an absolute
+// acceleration tolerance using the characteristic acceleration
+// G_internal * M_total / R^2 of the system (G is applied after traversal, so
+// the traversal-level tolerance omits it).
+func (s *TreeSolver) AccTolAbsolute(totalMass float64, box vec.Box) float64 {
+	r := box.MaxSide() / 2
+	if r == 0 {
+		r = 1
+	}
+	return s.Cfg.ErrTol * totalMass / (r * r)
+}
+
+// Forces implements Solver.
+func (s *TreeSolver) Forces(pos []vec.V3, mass []float64) (*Result, error) {
+	cfg := s.Cfg
+	if len(pos) != len(mass) {
+		return nil, fmt.Errorf("core: %d positions but %d masses", len(pos), len(mass))
+	}
+	if len(pos) == 0 {
+		return &Result{}, nil
+	}
+	start := time.Now()
+	box := s.RootBox(pos)
+
+	// The tree build reorders particles; work on copies so the caller's
+	// ordering is preserved.
+	cp := make([]vec.V3, len(pos))
+	cm := make([]float64, len(mass))
+	copy(cp, pos)
+	copy(cm, mass)
+
+	totalMass := 0.0
+	for _, m := range cm {
+		totalMass += m
+	}
+	rhoBar := 0.0
+	if cfg.BackgroundSubtraction {
+		rhoBar = totalMass / box.Volume()
+	}
+
+	tb := time.Now()
+	tr, err := tree.Build(cp, cm, box, tree.Options{
+		Order:    cfg.Order,
+		LeafSize: cfg.LeafSize,
+		RhoBar:   rhoBar,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.LastTree = tr
+	buildTime := time.Since(tb)
+
+	walkCfg := traverse.Config{
+		MAC:          cfg.MAC,
+		Theta:        cfg.Theta,
+		AccTol:       s.AccTolAbsolute(totalMass, box),
+		Kernel:       cfg.Kernel,
+		Eps:          cfg.Eps,
+		G:            cfg.G,
+		Periodic:     cfg.Periodic,
+		BoxSize:      cfg.BoxSize,
+		WS:           cfg.WS,
+		LatticeOrder: cfg.LatticeOrder,
+	}
+	tt := time.Now()
+	w := traverse.NewWalker(tr, walkCfg)
+	accSorted, potSorted, counters := w.ForcesForAll(cfg.Workers)
+	travTime := time.Since(tt)
+
+	// Scatter back to the caller's order.
+	acc := make([]vec.V3, len(pos))
+	pot := make([]float64, len(pos))
+	for i, orig := range tr.SortIndex {
+		acc[orig] = accSorted[i]
+		pot[orig] = potSorted[i]
+	}
+	return &Result{
+		Acc:      acc,
+		Pot:      pot,
+		Counters: counters,
+		Timings: Timings{
+			TreeBuild:       buildTime,
+			TreeTraversal:   travTime,
+			ForceEvaluation: travTime,
+			Total:           time.Since(start),
+		},
+	}, nil
+}
+
+// ForceAt evaluates the field of the most recently built tree at an arbitrary
+// position (for the multipole error experiments and lightcone sampling).
+func (s *TreeSolver) ForceAt(x vec.V3) (vec.V3, float64, error) {
+	if s.LastTree == nil {
+		return vec.V3{}, 0, fmt.Errorf("core: no tree built yet")
+	}
+	cfg := s.Cfg
+	totalMass := s.LastTree.TotalMass()
+	walkCfg := traverse.Config{
+		MAC:          cfg.MAC,
+		Theta:        cfg.Theta,
+		AccTol:       s.AccTolAbsolute(totalMass, s.LastTree.Box),
+		Kernel:       cfg.Kernel,
+		Eps:          cfg.Eps,
+		G:            cfg.G,
+		Periodic:     cfg.Periodic,
+		BoxSize:      cfg.BoxSize,
+		WS:           cfg.WS,
+		LatticeOrder: cfg.LatticeOrder,
+	}
+	w := traverse.NewWalker(s.LastTree, walkCfg)
+	a, p := w.ForceAt(x)
+	return a, p, nil
+}
+
+// DirectSolver is the O(N^2) float64 reference solver.  For periodic
+// configurations it uses brute-force Ewald summation, which is exact but very
+// slow (verification only).
+type DirectSolver struct {
+	Kernel   softening.Kernel
+	Eps      float64
+	G        float64
+	Periodic bool
+	BoxSize  float64
+	Ewald    ewald.Options
+	Workers  int
+}
+
+// Name implements Solver.
+func (s *DirectSolver) Name() string { return "direct-n2" }
+
+// Forces implements Solver.
+func (s *DirectSolver) Forces(pos []vec.V3, mass []float64) (*Result, error) {
+	if len(pos) != len(mass) {
+		return nil, fmt.Errorf("core: %d positions but %d masses", len(pos), len(mass))
+	}
+	g := s.G
+	if g == 0 {
+		g = 1
+	}
+	start := time.Now()
+	n := len(pos)
+	acc := make([]vec.V3, n)
+	pot := make([]float64, n)
+
+	if s.Periodic {
+		// Peculiar accelerations from Ewald images plus neutralizing
+		// background.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				d := pos[i].Sub(pos[j])
+				a := ewald.Accel(d, s.BoxSize, s.Ewald)
+				acc[i] = acc[i].Add(a.Scale(g * mass[j]))
+				pot[i] += g * mass[j] * ewald.Potential(d, s.BoxSize, s.Ewald)
+			}
+		}
+	} else {
+		workers := s.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		parallelRange(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var a vec.V3
+				var p float64
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					d := pos[j].Sub(pos[i])
+					r := d.Norm()
+					ff := softening.ForceFactor(s.Kernel, r, s.Eps)
+					pf := softening.PotentialFactor(s.Kernel, r, s.Eps)
+					a = a.Add(d.Scale(g * mass[j] * ff))
+					p += g * mass[j] * pf
+				}
+				acc[i] = a
+				pot[i] = p
+			}
+		})
+	}
+	return &Result{
+		Acc: acc, Pot: pot,
+		Timings: Timings{ForceEvaluation: time.Since(start), Total: time.Since(start)},
+	}, nil
+}
+
+// Direct32Forces computes accelerations in single precision (no softening),
+// reproducing the "direct sum (float32)" reference of Figure 6.
+func Direct32Forces(pos []vec.V3, mass []float64, at vec.V3) (vec.V3, float64) {
+	var ax, ay, az, p float32
+	x := [3]float32{float32(at[0]), float32(at[1]), float32(at[2])}
+	for j := range pos {
+		dx := float32(pos[j][0]) - x[0]
+		dy := float32(pos[j][1]) - x[1]
+		dz := float32(pos[j][2]) - x[2]
+		r2 := dx*dx + dy*dy + dz*dz
+		if r2 == 0 {
+			continue
+		}
+		inv := 1 / float32(math.Sqrt(float64(r2)))
+		m := float32(mass[j])
+		p += m * inv
+		mInv3 := m * inv * inv * inv
+		ax += dx * mInv3
+		ay += dy * mInv3
+		az += dz * mInv3
+	}
+	return vec.V3{float64(ax), float64(ay), float64(az)}, float64(p)
+}
+
+// parallelRange splits [0,n) into contiguous chunks executed concurrently.
+func parallelRange(n, workers int, body func(lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		body(0, n)
+		return
+	}
+	done := make(chan struct{}, workers)
+	chunk := (n + workers - 1) / workers
+	launched := 0
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		launched++
+		go func(lo, hi int) {
+			body(lo, hi)
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for i := 0; i < launched; i++ {
+		<-done
+	}
+}
+
+// AccuracyStats summarizes the per-particle relative acceleration error of a
+// solver against a reference.
+type AccuracyStats struct {
+	RMS, Median, Max, Mean float64
+}
+
+// CompareAccelerations computes error statistics of test against ref,
+// normalizing by the rms reference acceleration (the convention of the
+// paper's force-accuracy discussion).
+func CompareAccelerations(test, ref []vec.V3) AccuracyStats {
+	if len(test) != len(ref) {
+		panic("core: acceleration slices differ in length")
+	}
+	n := len(ref)
+	if n == 0 {
+		return AccuracyStats{}
+	}
+	rms := 0.0
+	for _, a := range ref {
+		rms += a.Norm2()
+	}
+	rms = math.Sqrt(rms / float64(n))
+	if rms == 0 {
+		rms = 1
+	}
+	errs := make([]float64, n)
+	var stats AccuracyStats
+	for i := range ref {
+		e := test[i].Sub(ref[i]).Norm() / rms
+		errs[i] = e
+		stats.Mean += e
+		stats.RMS += e * e
+		if e > stats.Max {
+			stats.Max = e
+		}
+	}
+	stats.Mean /= float64(n)
+	stats.RMS = math.Sqrt(stats.RMS / float64(n))
+	stats.Median = median(errs)
+	return stats
+}
+
+func median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(x))
+	copy(cp, x)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}
+
+// CosmoG returns the gravitational constant in internal units, re-exported
+// for convenience of packages that already import core.
+const CosmoG = cosmo.G

@@ -1,0 +1,194 @@
+// Package cube provides the homogeneous-cube machinery needed by 2HOT's
+// background-subtraction scheme (Section 2.2.1 of the paper):
+//
+//   - the analytic Newtonian potential and attraction of a homogeneous
+//     rectangular parallelepiped at an arbitrary field point (Waldvogel 1976;
+//     Seidov & Skvirsky 2000; the classic corner-sum "prism" formula), used
+//     to remove the background contribution of the near field, and
+//   - the multipole moments of a uniform cube about its own center, which are
+//     subtracted from every cell's particle moments so that far interactions
+//     act on the density contrast rather than on the always-positive mass.
+package cube
+
+import (
+	"math"
+
+	"twohot/internal/multipole"
+	"twohot/internal/vec"
+)
+
+// Prism describes an axis-aligned homogeneous rectangular parallelepiped.
+type Prism struct {
+	Box vec.Box
+	Rho float64 // mass density (may be negative for background subtraction)
+}
+
+// NewCube returns a homogeneous cube with the given center, side and density.
+func NewCube(center vec.V3, side, rho float64) Prism {
+	h := side / 2
+	return Prism{
+		Box: vec.Box{Lo: center.Sub(vec.V3{h, h, h}), Hi: center.Add(vec.V3{h, h, h})},
+		Rho: rho,
+	}
+}
+
+// Mass returns the total mass of the prism.
+func (p Prism) Mass() float64 { return p.Rho * p.Box.Volume() }
+
+// safeLog returns log(x) guarded against the logarithmic corner singularity
+// of the prism formulas; the terms it appears in vanish there.
+func safeLog(x float64) float64 {
+	if x <= 1e-300 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+// safeAtan returns atan(num/den), with the convention that a vanishing
+// denominator (which only happens when the prefactor of the term vanishes
+// too, or at the +-pi/2 limit) is handled via atan2 of the absolute
+// magnitude.
+func safeAtan(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Copysign(math.Pi/2, num)
+	}
+	return math.Atan(num / den)
+}
+
+// Accel returns the gravitational acceleration (G=1) exerted by the prism on
+// a field point at position x.  The formula is the classical corner sum valid
+// for field points inside as well as outside the prism; the acceleration
+// points toward the mass for positive density.
+func (p Prism) Accel(x vec.V3) vec.V3 {
+	// Work in the frame where the field point is the origin and the prism
+	// spans [x1,x2]x[y1,y2]x[z1,z2].
+	x1 := p.Box.Lo[0] - x[0]
+	x2 := p.Box.Hi[0] - x[0]
+	y1 := p.Box.Lo[1] - x[1]
+	y2 := p.Box.Hi[1] - x[1]
+	z1 := p.Box.Lo[2] - x[2]
+	z2 := p.Box.Hi[2] - x[2]
+	xs := [2]float64{x1, x2}
+	ys := [2]float64{y1, y2}
+	zs := [2]float64{z1, z2}
+
+	var gx, gy, gz float64
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				sign := 1.0
+				if (i+j+k)%2 == 1 {
+					sign = -1
+				}
+				xi, yj, zk := xs[i], ys[j], zs[k]
+				r := math.Sqrt(xi*xi + yj*yj + zk*zk)
+				// Component along x: y ln(z+r) + z ln(y+r) - x atan(yz/(xr))
+				gx += sign * (yj*safeLog(zk+r) + zk*safeLog(yj+r) - xi*safeAtan(yj*zk, xi*r))
+				gy += sign * (zk*safeLog(xi+r) + xi*safeLog(zk+r) - yj*safeAtan(zk*xi, yj*r))
+				gz += sign * (xi*safeLog(yj+r) + yj*safeLog(xi+r) - zk*safeAtan(xi*yj, zk*r))
+			}
+		}
+	}
+	// The corner sum above gives the attraction toward the mass in the
+	// convention where acceleration a_c = G rho * sum; positive density
+	// pulls the field point toward the prism.
+	return vec.V3{gx, gy, gz}.Scale(p.Rho)
+}
+
+// Potential returns the kernel sum S = integral rho/|x-y| dV of the prism at
+// the field point x.  The physical potential is -G*S.  The formula is the
+// Waldvogel corner sum, valid inside and outside.
+func (p Prism) Potential(x vec.V3) float64 {
+	x1 := p.Box.Lo[0] - x[0]
+	x2 := p.Box.Hi[0] - x[0]
+	y1 := p.Box.Lo[1] - x[1]
+	y2 := p.Box.Hi[1] - x[1]
+	z1 := p.Box.Lo[2] - x[2]
+	z2 := p.Box.Hi[2] - x[2]
+	xs := [2]float64{x1, x2}
+	ys := [2]float64{y1, y2}
+	zs := [2]float64{z1, z2}
+
+	var u float64
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				sign := 1.0
+				if (i+j+k)%2 == 0 {
+					sign = 1
+				} else {
+					sign = -1
+				}
+				xi, yj, zk := xs[i], ys[j], zs[k]
+				r := math.Sqrt(xi*xi + yj*yj + zk*zk)
+				term := xi*yj*safeLog(zk+r) + yj*zk*safeLog(xi+r) + zk*xi*safeLog(yj+r)
+				term -= 0.5 * xi * xi * safeAtan(yj*zk, xi*r)
+				term -= 0.5 * yj * yj * safeAtan(zk*xi, yj*r)
+				term -= 0.5 * zk * zk * safeAtan(xi*yj, zk*r)
+				u += sign * term
+			}
+		}
+	}
+	// The corner sum above evaluates to the negative of the kernel sum in
+	// this sign convention; flip it so the far field approaches +M/r.
+	return -u * p.Rho
+}
+
+// Moments returns the multipole moments of the homogeneous prism about the
+// given center, truncated at order p.  For a cube centered on its own center
+// only even multi-indices survive.
+func (p Prism) Moments(order int, center vec.V3) *multipole.Expansion {
+	e := multipole.NewExpansion(order, center)
+	t := multipole.Table(order)
+	lo := p.Box.Lo.Sub(center)
+	hi := p.Box.Hi.Sub(center)
+	// Per-dimension monomial integrals I_dim[k] = integral_{lo}^{hi} u^k du.
+	ints := [3][]float64{}
+	for c := 0; c < 3; c++ {
+		v := make([]float64, order+1)
+		for k := 0; k <= order; k++ {
+			v[k] = (math.Pow(hi[c], float64(k+1)) - math.Pow(lo[c], float64(k+1))) / float64(k+1)
+		}
+		ints[c] = v
+	}
+	for i, mi := range t.Idx {
+		e.M[i] = p.Rho * ints[0][mi[0]] * ints[1][mi[1]] * ints[2][mi[2]]
+	}
+	// Absolute moments and bmax for the error bound: the prism's mass is
+	// |rho|*V spread within a half-diagonal radius.
+	half := p.Box.Size().Scale(0.5)
+	bmax := half.Norm()
+	e.Bmax = bmax
+	am := math.Abs(p.Rho) * p.Box.Volume()
+	rp := 1.0
+	for n := 0; n <= order+1; n++ {
+		e.B[n] += am * rp
+		rp *= bmax
+	}
+	e.Mass = p.Mass()
+	return e
+}
+
+// BackgroundMoments returns the multipole moments, about the cell center, of
+// a uniform cube of density -rhoBar filling a cell of the given side.  These
+// are the moments added to every cell in 2HOT's background-subtraction
+// scheme; they depend only on the cell size, so the tree caches one set per
+// level.
+func BackgroundMoments(order int, side, rhoBar float64) *multipole.Expansion {
+	c := NewCube(vec.V3{}, side, -rhoBar)
+	return c.Moments(order, vec.V3{})
+}
+
+// BackgroundAccel returns the acceleration and kernel sum, at field point x,
+// of a uniform cube of density -rhoBar occupying cellBox.  This is the
+// analytic near-field background term of Figure 2: cells close enough to a
+// sink to be opened to the particle level (or empty regions of space that the
+// traversal would otherwise ignore) have their background contribution
+// removed exactly rather than through a truncated expansion.
+func BackgroundAccel(cellBox vec.Box, rhoBar float64, x vec.V3) (vec.V3, float64) {
+	p := Prism{Box: cellBox, Rho: -rhoBar}
+	return p.Accel(x), p.Potential(x)
+}

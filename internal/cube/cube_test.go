@@ -1,0 +1,156 @@
+package cube
+
+import (
+	"math"
+	"testing"
+
+	"twohot/internal/multipole"
+	"twohot/internal/vec"
+)
+
+// numericCube sums the field of a cube by subdividing it into k^3 point
+// masses (midpoint rule); accurate to ~(1/k)^2 away from the surface.
+func numericCube(p Prism, x vec.V3, k int) (vec.V3, float64) {
+	size := p.Box.Size()
+	dm := p.Rho * size[0] * size[1] * size[2] / float64(k*k*k)
+	var acc vec.V3
+	var pot float64
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			for l := 0; l < k; l++ {
+				y := vec.V3{
+					p.Box.Lo[0] + (float64(i)+0.5)/float64(k)*size[0],
+					p.Box.Lo[1] + (float64(j)+0.5)/float64(k)*size[1],
+					p.Box.Lo[2] + (float64(l)+0.5)/float64(k)*size[2],
+				}
+				d := y.Sub(x)
+				r := d.Norm()
+				if r == 0 {
+					continue
+				}
+				pot += dm / r
+				acc = acc.Add(d.Scale(dm / (r * r * r)))
+			}
+		}
+	}
+	return acc, pot
+}
+
+func TestCubeFieldOutside(t *testing.T) {
+	p := NewCube(vec.V3{0.5, 0.5, 0.5}, 1.0, 2.0)
+	for _, x := range []vec.V3{{3, 0.5, 0.5}, {2, 2, 2}, {-1, 0.2, 0.7}} {
+		accN, potN := numericCube(p, x, 40)
+		acc := p.Accel(x)
+		pot := p.Potential(x)
+		if acc.Sub(accN).Norm()/accN.Norm() > 2e-3 {
+			t.Errorf("accel at %v: %v vs numeric %v", x, acc, accN)
+		}
+		if math.Abs(pot-potN)/math.Abs(potN) > 2e-3 {
+			t.Errorf("potential at %v: %g vs numeric %g", x, pot, potN)
+		}
+	}
+}
+
+func TestCubeFieldInside(t *testing.T) {
+	p := NewCube(vec.V3{0, 0, 0}, 2.0, 1.5)
+	for _, x := range []vec.V3{{0.3, -0.2, 0.1}, {0.9, 0.9, 0.9}, {0, 0, 0}} {
+		accN, _ := numericCube(p, x, 60)
+		acc := p.Accel(x)
+		if acc.Sub(accN).Norm() > 3e-2*math.Abs(p.Rho)*2 {
+			t.Errorf("interior accel at %v: %v vs numeric %v", x, acc, accN)
+		}
+	}
+	// By symmetry the force at the center vanishes.
+	if p.Accel(vec.V3{0, 0, 0}).Norm() > 1e-12 {
+		t.Error("force at cube center must vanish")
+	}
+}
+
+func TestCubeFarFieldIsMonopole(t *testing.T) {
+	p := NewCube(vec.V3{0, 0, 0}, 1.0, 3.0)
+	x := vec.V3{50, 30, 20}
+	r := x.Norm()
+	m := p.Mass()
+	acc := p.Accel(x)
+	want := x.Scale(-m / (r * r * r))
+	if acc.Sub(want).Norm()/want.Norm() > 1e-4 {
+		t.Errorf("far field %v, want monopole %v", acc, want)
+	}
+}
+
+func TestCubeMomentsMatchNumericalIntegrals(t *testing.T) {
+	p := NewCube(vec.V3{0.5, 0.5, 0.5}, 1.0, 2.0)
+	e := p.Moments(4, vec.V3{0.5, 0.5, 0.5})
+	tab := multipole.Table(4)
+	// Monopole = mass; all odd moments vanish; second moments = rho *
+	// integral x^2 = rho * L^5/12 per axis.
+	if math.Abs(e.M[tab.Pos[multipole.MultiIndex{0, 0, 0}]]-p.Mass()) > 1e-12 {
+		t.Error("monopole moment")
+	}
+	for _, odd := range []multipole.MultiIndex{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}, {3, 0, 0}} {
+		if math.Abs(e.M[tab.Pos[odd]]) > 1e-12 {
+			t.Errorf("odd moment %v should vanish", odd)
+		}
+	}
+	want := 2.0 * (1.0 / 12.0)
+	if math.Abs(e.M[tab.Pos[multipole.MultiIndex{2, 0, 0}]]-want) > 1e-12 {
+		t.Errorf("quadrupole moment %g, want %g", e.M[tab.Pos[multipole.MultiIndex{2, 0, 0}]], want)
+	}
+}
+
+func TestBackgroundSubtractionCancelsUniformLattice(t *testing.T) {
+	// A cell filled by a regular lattice of particles minus the uniform cube
+	// of the same mean density must have a tiny far field: this is the key
+	// cancellation behind Section 2.2.1.
+	const nSide = 8
+	side := 1.0
+	rho := 1.0
+	mass := rho * side * side * side / float64(nSide*nSide*nSide)
+	center := vec.V3{0.5, 0.5, 0.5}
+	e := multipole.NewExpansion(4, center)
+	for i := 0; i < nSide; i++ {
+		for j := 0; j < nSide; j++ {
+			for k := 0; k < nSide; k++ {
+				p := vec.V3{
+					(float64(i) + 0.5) / nSide,
+					(float64(j) + 0.5) / nSide,
+					(float64(k) + 0.5) / nSide,
+				}
+				e.AddParticle(p, mass)
+			}
+		}
+	}
+	bg := BackgroundMoments(4, side, rho)
+	e.AddExpansion(bg)
+	e.FinalizeNorms()
+
+	x := vec.V3{2.5, 2.0, 1.5}
+	res := e.Evaluate(x)
+	// Compare with the raw lattice's field magnitude.
+	raw := multipole.NewExpansion(4, center)
+	for i := 0; i < nSide; i++ {
+		for j := 0; j < nSide; j++ {
+			for k := 0; k < nSide; k++ {
+				p := vec.V3{(float64(i) + 0.5) / nSide, (float64(j) + 0.5) / nSide, (float64(k) + 0.5) / nSide}
+				raw.AddParticle(p, mass)
+			}
+		}
+	}
+	rawRes := raw.Evaluate(x)
+	if res.Acc.Norm() > 1e-3*rawRes.Acc.Norm() {
+		t.Errorf("background-subtracted far field %g should be tiny compared with raw %g",
+			res.Acc.Norm(), rawRes.Acc.Norm())
+	}
+}
+
+func TestBackgroundAccelMatchesPrism(t *testing.T) {
+	box := vec.CubeBox(vec.V3{1, 2, 3}, 0.5)
+	x := vec.V3{1.1, 2.2, 3.3}
+	a1, p1 := BackgroundAccel(box, 2.5, x)
+	pr := Prism{Box: box, Rho: -2.5}
+	a2 := pr.Accel(x)
+	p2 := pr.Potential(x)
+	if a1.Sub(a2).Norm() > 1e-14 || math.Abs(p1-p2) > 1e-14 {
+		t.Error("BackgroundAccel must equal the negative-density prism field")
+	}
+}

@@ -1,0 +1,119 @@
+// Package domain implements the space-filling-curve domain decomposition of
+// Section 3.1: particle keys are sorted in parallel (a sample sort with an
+// American-flag radix sort on-node), splitter keys are chosen so that each
+// processor domain receives approximately equal work, and particles are
+// exchanged with an Alltoallv whose implementation can be selected (direct,
+// pairwise or hierarchical) to reproduce the scalability comparison of the
+// paper.
+package domain
+
+import (
+	"twohot/internal/comm"
+	"twohot/internal/keys"
+	"twohot/internal/parsort"
+	"twohot/internal/particle"
+	"twohot/internal/vec"
+)
+
+// Decomposition describes the key-space split among ranks.
+type Decomposition struct {
+	Box       vec.Box
+	Curve     keys.Curve
+	Splitters []uint64 // len NRanks-1, ascending
+}
+
+// Owner returns the rank owning the given key.
+func (d *Decomposition) Owner(k uint64) int {
+	return parsort.OwnerOf(k, d.Splitters)
+}
+
+// OwnerOfPosition returns the rank owning a position.
+func (d *Decomposition) OwnerOfPosition(p vec.V3) int {
+	return d.Owner(uint64(keys.FromPosition(p, d.Box, d.Curve)))
+}
+
+// Options configures the decomposition.
+type Options struct {
+	Curve          keys.Curve
+	SamplesPerRank int
+	Alltoall       comm.AlltoallAlgorithm
+	// UseWork weights the splits by the per-particle work recorded during
+	// the previous force calculation (the paper's load-balancing strategy)
+	// instead of plain particle counts.
+	UseWork bool
+}
+
+// Decompose chooses splitters for the particles currently held by each rank
+// and exchanges particles so that every rank ends up owning a contiguous key
+// range.  prev, if non-nil, seeds the splitter sampling with the previous
+// decomposition (cheap refinement when particles have moved little).
+// The particles of each rank are left sorted by key.
+func Decompose(r *comm.Rank, set *particle.Set, box vec.Box, opt Options, prev *Decomposition) *Decomposition {
+	if opt.SamplesPerRank == 0 {
+		opt.SamplesPerRank = 64
+	}
+	ks := set.Keys(box, opt.Curve)
+	var weights []float64
+	if opt.UseWork {
+		weights = set.Work
+	}
+	var prevSplit []uint64
+	if prev != nil {
+		prevSplit = prev.Splitters
+	}
+	splitters := parsort.ChooseSplitters(r, ks, weights, opt.SamplesPerRank, prevSplit)
+	d := &Decomposition{Box: box, Curve: opt.Curve, Splitters: splitters}
+	ExchangeParticles(r, set, d, opt.Alltoall)
+	set.SortByKey(box, opt.Curve)
+	return d
+}
+
+// ExchangeParticles moves every particle to the rank that owns its key under
+// the decomposition.  After the initial decomposition the exchange pattern is
+// very sparse (particles only drift into neighboring domains), which the
+// Alltoallv implementations exploit by sending empty blocks cheaply.
+func ExchangeParticles(r *comm.Rank, set *particle.Set, d *Decomposition, algo comm.AlltoallAlgorithm) {
+	n := r.N()
+	outgoing := make([][]int, n)
+	ks := set.Keys(d.Box, d.Curve)
+	for i, k := range ks {
+		owner := d.Owner(k)
+		if owner != r.ID {
+			outgoing[owner] = append(outgoing[owner], i)
+		}
+	}
+	send := make([][]byte, n)
+	var toRemove []int
+	for dst := 0; dst < n; dst++ {
+		if len(outgoing[dst]) == 0 {
+			send[dst] = nil
+			continue
+		}
+		send[dst] = set.EncodeRange(outgoing[dst])
+		toRemove = append(toRemove, outgoing[dst]...)
+	}
+	recv := r.AlltoallvBytes(send, algo)
+	if len(toRemove) > 0 {
+		set.Select(toRemove) // drop the particles we shipped away
+	}
+	for src := 0; src < n; src++ {
+		if src == r.ID || len(recv[src]) == 0 {
+			continue
+		}
+		if err := set.DecodeAppend(recv[src]); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Imbalance returns the ratio of the largest to the mean particle count
+// across ranks (1.0 is perfect balance).
+func Imbalance(r *comm.Rank, localCount int) float64 {
+	maxC := r.AllreduceFloat64(float64(localCount), "max")
+	sum := r.AllreduceFloat64(float64(localCount), "sum")
+	mean := sum / float64(r.N())
+	if mean == 0 {
+		return 1
+	}
+	return maxC / mean
+}

@@ -1,0 +1,102 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+
+	"twohot/internal/comm"
+	"twohot/internal/keys"
+	"twohot/internal/particle"
+	"twohot/internal/vec"
+)
+
+func clustered(n int, seed int64) *particle.Set {
+	rng := rand.New(rand.NewSource(seed))
+	set := particle.New(n)
+	for i := 0; i < n; i++ {
+		var p vec.V3
+		if i%2 == 0 {
+			p = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
+		} else {
+			p = vec.V3{
+				vec.PeriodicWrap(0.3+0.05*rng.NormFloat64(), 1),
+				vec.PeriodicWrap(0.7+0.05*rng.NormFloat64(), 1),
+				vec.PeriodicWrap(0.2+0.05*rng.NormFloat64(), 1),
+			}
+		}
+		set.Append(p, vec.V3{}, 1, int64(i))
+	}
+	return set
+}
+
+func TestDecomposePreservesParticlesAndBalances(t *testing.T) {
+	const nRanks = 3
+	const n = 9000
+	all := clustered(n, 1)
+	box := vec.CubeBox(vec.V3{}, 1)
+
+	world := comm.NewWorld(nRanks)
+	perRank := make([]*particle.Set, nRanks)
+	chunk := (n + nRanks - 1) / nRanks
+	for r := 0; r < nRanks; r++ {
+		perRank[r] = particle.New(chunk)
+		for i := r * chunk; i < (r+1)*chunk && i < n; i++ {
+			perRank[r].AppendFrom(all, i)
+		}
+	}
+	decomps := make([]*Decomposition, nRanks)
+	world.Run(func(r *comm.Rank) {
+		decomps[r.ID] = Decompose(r, perRank[r.ID], box, Options{Curve: keys.Hilbert}, nil)
+	})
+
+	// Every particle still exists exactly once (check by ID) and lives on
+	// the rank that owns its key.
+	seen := map[int64]bool{}
+	total := 0
+	for r := 0; r < nRanks; r++ {
+		total += perRank[r].Len()
+		d := decomps[r]
+		for i := 0; i < perRank[r].Len(); i++ {
+			id := perRank[r].ID[i]
+			if seen[id] {
+				t.Fatalf("particle %d duplicated", id)
+			}
+			seen[id] = true
+			if owner := d.OwnerOfPosition(perRank[r].Pos[i]); owner != r {
+				t.Fatalf("particle %d on rank %d but owned by %d", id, r, owner)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("particles lost: %d of %d", total, n)
+	}
+	// Balance within a factor of 2 of the mean for this clustered input.
+	for r := 0; r < nRanks; r++ {
+		frac := float64(perRank[r].Len()) * nRanks / float64(n)
+		if frac < 0.4 || frac > 2.0 {
+			t.Errorf("rank %d holds %.2fx the mean load", r, frac)
+		}
+	}
+	// Splitters must agree across ranks.
+	for r := 1; r < nRanks; r++ {
+		for i := range decomps[0].Splitters {
+			if decomps[r].Splitters[i] != decomps[0].Splitters[i] {
+				t.Fatal("ranks disagree on the splitters")
+			}
+		}
+	}
+}
+
+func TestImbalanceMetric(t *testing.T) {
+	world := comm.NewWorld(2)
+	world.Run(func(r *comm.Rank) {
+		count := 100
+		if r.ID == 1 {
+			count = 300
+		}
+		imb := Imbalance(r, count)
+		if imb < 1.49 || imb > 1.51 {
+			t.Errorf("imbalance %.2f, want 1.5", imb)
+		}
+	})
+}

@@ -1,0 +1,310 @@
+// Package fft provides the fast Fourier transforms required by the
+// simulation pipeline: initial-condition generation (2LPT), the particle-mesh
+// baseline solver, and power-spectrum measurement.  The paper links against
+// FFTW; this stdlib-only implementation supplies an iterative radix-2
+// Cooley–Tukey transform, a Bluestein fallback for arbitrary lengths, and
+// goroutine-parallel 3-D transforms.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+)
+
+// Plan is a reusable 1-D complex FFT plan for a fixed length.
+type Plan struct {
+	N       int
+	pow2    bool
+	perm    []int          // bit-reversal permutation (radix-2 path)
+	twiddle []complex128   // stage twiddle factors (radix-2 path)
+	bs      *bluesteinPlan // arbitrary-length path
+}
+
+// NewPlan builds a plan for length n (n >= 1).
+func NewPlan(n int) *Plan {
+	if n <= 0 {
+		panic("fft: length must be positive")
+	}
+	p := &Plan{N: n}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.perm = bitReversePermutation(n)
+		p.twiddle = make([]complex128, n/2)
+		for i := 0; i < n/2; i++ {
+			angle := -2 * math.Pi * float64(i) / float64(n)
+			p.twiddle[i] = cmplx.Exp(complex(0, angle))
+		}
+	} else {
+		p.bs = newBluestein(n)
+	}
+	return p
+}
+
+func bitReversePermutation(n int) []int {
+	perm := make([]int, n)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		perm[i] = r
+	}
+	return perm
+}
+
+// Forward transforms data in place with the e^{-2 pi i k x / N} convention.
+func (p *Plan) Forward(data []complex128) { p.transform(data, false) }
+
+// Inverse transforms data in place, including the 1/N normalization.
+func (p *Plan) Inverse(data []complex128) {
+	p.transform(data, true)
+	scale := complex(1/float64(p.N), 0)
+	for i := range data {
+		data[i] *= scale
+	}
+}
+
+func (p *Plan) transform(data []complex128, inverse bool) {
+	if len(data) != p.N {
+		panic("fft: data length does not match plan")
+	}
+	if p.pow2 {
+		p.radix2(data, inverse)
+		return
+	}
+	p.bs.transform(data, inverse)
+}
+
+func (p *Plan) radix2(data []complex128, inverse bool) {
+	n := p.N
+	// Bit-reversal reorder.
+	for i, j := range p.perm {
+		if j > i {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				a := data[start+k]
+				b := data[start+k+half] * w
+				data[start+k] = a + b
+				data[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// bluesteinPlan implements the chirp-z transform for arbitrary lengths using
+// a power-of-two convolution.
+type bluesteinPlan struct {
+	n     int
+	m     int
+	chirp []complex128 // chirp[k] = exp(-i pi k^2 / n)
+	fb    []complex128 // FFT of the padded conjugate chirp
+	inner *Plan
+}
+
+func newBluestein(n int) *bluesteinPlan {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	bs := &bluesteinPlan{n: n, m: m, inner: NewPlan(m)}
+	bs.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		angle := math.Pi * float64(k) * float64(k) / float64(n)
+		bs.chirp[k] = cmplx.Exp(complex(0, -angle))
+	}
+	b := make([]complex128, m)
+	b[0] = cmplx.Conj(bs.chirp[0])
+	for k := 1; k < n; k++ {
+		b[k] = cmplx.Conj(bs.chirp[k])
+		b[m-k] = cmplx.Conj(bs.chirp[k])
+	}
+	bs.inner.Forward(b)
+	bs.fb = b
+	return bs
+}
+
+func (bs *bluesteinPlan) transform(data []complex128, inverse bool) {
+	n, m := bs.n, bs.m
+	a := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		x := data[k]
+		if inverse {
+			x = cmplx.Conj(x)
+		}
+		a[k] = x * bs.chirp[k]
+	}
+	bs.inner.Forward(a)
+	for i := 0; i < m; i++ {
+		a[i] *= bs.fb[i]
+	}
+	bs.inner.Inverse(a)
+	for k := 0; k < n; k++ {
+		y := a[k] * bs.chirp[k]
+		if inverse {
+			y = cmplx.Conj(y)
+		}
+		data[k] = y
+	}
+}
+
+// Grid3 is an N0 x N1 x N2 complex grid with in-place 3-D transforms.
+type Grid3 struct {
+	N    [3]int
+	Data []complex128
+	plan [3]*Plan
+}
+
+// NewGrid3 allocates a grid of the given dimensions.
+func NewGrid3(n0, n1, n2 int) *Grid3 {
+	g := &Grid3{N: [3]int{n0, n1, n2}, Data: make([]complex128, n0*n1*n2)}
+	g.plan[0] = NewPlan(n0)
+	g.plan[1] = NewPlan(n1)
+	if n2 == n1 {
+		g.plan[2] = g.plan[1]
+	} else {
+		g.plan[2] = NewPlan(n2)
+	}
+	if n1 == n0 {
+		g.plan[1] = g.plan[0]
+		if n2 == n0 {
+			g.plan[2] = g.plan[0]
+		}
+	}
+	return g
+}
+
+// NewCube returns a cubic grid of side n.
+func NewCube(n int) *Grid3 { return NewGrid3(n, n, n) }
+
+// Index returns the linear index of (i, j, k).
+func (g *Grid3) Index(i, j, k int) int { return (i*g.N[1]+j)*g.N[2] + k }
+
+// At returns the value at (i, j, k).
+func (g *Grid3) At(i, j, k int) complex128 { return g.Data[g.Index(i, j, k)] }
+
+// Set stores a value at (i, j, k).
+func (g *Grid3) Set(i, j, k int, v complex128) { g.Data[g.Index(i, j, k)] = v }
+
+// Fill sets all entries to v.
+func (g *Grid3) Fill(v complex128) {
+	for i := range g.Data {
+		g.Data[i] = v
+	}
+}
+
+// Forward performs the 3-D forward transform in place.
+func (g *Grid3) Forward() { g.transform(false) }
+
+// Inverse performs the 3-D inverse transform (with 1/N^3 normalization) in
+// place.
+func (g *Grid3) Inverse() { g.transform(true) }
+
+func (g *Grid3) transform(inverse bool) {
+	n0, n1, n2 := g.N[0], g.N[1], g.N[2]
+	workers := runtime.GOMAXPROCS(0)
+	// Transform along axis 2 (contiguous lines).
+	parallelFor(n0*n1, workers, func(line int) {
+		i := line / n1
+		j := line % n1
+		row := g.Data[g.Index(i, j, 0) : g.Index(i, j, 0)+n2]
+		if inverse {
+			g.plan[2].Inverse(row)
+		} else {
+			g.plan[2].Forward(row)
+		}
+	})
+	// Axis 1: stride n2.
+	parallelFor(n0*n2, workers, func(line int) {
+		i := line / n2
+		k := line % n2
+		buf := make([]complex128, n1)
+		for j := 0; j < n1; j++ {
+			buf[j] = g.Data[g.Index(i, j, k)]
+		}
+		if inverse {
+			g.plan[1].Inverse(buf)
+		} else {
+			g.plan[1].Forward(buf)
+		}
+		for j := 0; j < n1; j++ {
+			g.Data[g.Index(i, j, k)] = buf[j]
+		}
+	})
+	// Axis 0: stride n1*n2.
+	parallelFor(n1*n2, workers, func(line int) {
+		j := line / n2
+		k := line % n2
+		buf := make([]complex128, n0)
+		for i := 0; i < n0; i++ {
+			buf[i] = g.Data[g.Index(i, j, k)]
+		}
+		if inverse {
+			g.plan[0].Inverse(buf)
+		} else {
+			g.plan[0].Forward(buf)
+		}
+		for i := 0; i < n0; i++ {
+			g.Data[g.Index(i, j, k)] = buf[i]
+		}
+	})
+}
+
+// parallelFor runs body(i) for i in [0, n) across the given number of
+// workers.
+func parallelFor(n, workers int, body func(int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || n < 2*workers {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// FreqIndex maps a grid index to the signed frequency index (-N/2 .. N/2-1).
+func FreqIndex(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}

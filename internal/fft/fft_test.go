@@ -1,0 +1,142 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(N^2) reference.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 3, 5, 6, 12, 17, 30} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		NewPlan(n).Forward(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*(1+cmplx.Abs(want[i])) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(7))
+		if rng.Intn(2) == 0 {
+			n += rng.Intn(5) // exercise the Bluestein path too
+		}
+		if n < 1 {
+			n = 1
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		p := NewPlan(n)
+		p.Forward(y)
+		p.Inverse(y)
+		for i := range x {
+			if cmplx.Abs(x[i]-y[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 128
+	x := make([]complex128, n)
+	sumX := 0.0
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		sumX += real(x[i]) * real(x[i])
+	}
+	NewPlan(n).Forward(x)
+	sumK := 0.0
+	for _, v := range x {
+		sumK += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(sumK/float64(n)-sumX)/sumX > 1e-10 {
+		t.Errorf("Parseval violated: %g vs %g", sumK/float64(n), sumX)
+	}
+}
+
+func TestGrid3PlaneWave(t *testing.T) {
+	n := 16
+	g := NewCube(n)
+	// A single plane wave along x must transform to two delta functions.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				g.Set(i, j, k, complex(math.Cos(2*math.Pi*3*float64(i)/float64(n)), 0))
+			}
+		}
+	}
+	g.Forward()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				mag := cmplx.Abs(g.At(i, j, k))
+				expectPeak := (i == 3 || i == n-3) && j == 0 && k == 0
+				if expectPeak && mag < float64(n*n*n)/4 {
+					t.Errorf("missing peak at (%d,%d,%d): %g", i, j, k, mag)
+				}
+				if !expectPeak && mag > 1e-6*float64(n*n*n) {
+					t.Errorf("unexpected power at (%d,%d,%d): %g", i, j, k, mag)
+				}
+			}
+		}
+	}
+}
+
+func TestGrid3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGrid3(8, 4, 16)
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = g.Data[i]
+	}
+	g.Forward()
+	g.Inverse()
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("3-D round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFreqIndex(t *testing.T) {
+	if FreqIndex(0, 8) != 0 || FreqIndex(1, 8) != 1 || FreqIndex(7, 8) != -1 || FreqIndex(5, 8) != -3 {
+		t.Error("FreqIndex mapping")
+	}
+}

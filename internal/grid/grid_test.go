@@ -1,0 +1,121 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twohot/internal/vec"
+)
+
+func TestCICConservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMesh(16, 100)
+	n := 500
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	total := 0.0
+	for i := range pos {
+		pos[i] = vec.V3{100 * rng.Float64(), 100 * rng.Float64(), 100 * rng.Float64()}
+		mass[i] = rng.Float64() + 0.5
+		total += mass[i]
+	}
+	m.DepositCIC(pos, mass)
+	if math.Abs(m.Total()-total)/total > 1e-12 {
+		t.Errorf("CIC deposit lost mass: %g vs %g", m.Total(), total)
+	}
+}
+
+func TestCICInterpolationOfLinearField(t *testing.T) {
+	// CIC interpolation reproduces a linear field exactly (away from the
+	// periodic wrap).
+	n := 16
+	l := 1.0
+	m := NewMesh(n, l)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				x := (float64(i) + 0.5) / float64(n)
+				m.Data[m.Index(i, j, k)] = 2*x + 1
+			}
+		}
+	}
+	pos := []vec.V3{{0.4, 0.5, 0.5}, {0.52, 0.22, 0.7}}
+	out := make([]float64, len(pos))
+	m.InterpolateCIC(pos, out)
+	for i, p := range pos {
+		want := 2*p[0] + 1
+		if math.Abs(out[i]-want) > 1e-12 {
+			t.Errorf("interpolation at %v: %g want %g", p, out[i], want)
+		}
+	}
+}
+
+func TestPowerSpectrumOfPlaneWave(t *testing.T) {
+	// delta(x) = A cos(k1 x) has P concentrated in the k1 bin with amplitude
+	// A^2 V / 2 (for the discrete convention used here).
+	n := 32
+	l := 200.0
+	amp := 0.25
+	mode := 4
+	m := NewMesh(n, l)
+	for i := 0; i < n; i++ {
+		v := amp * math.Cos(2*math.Pi*float64(mode)*float64(i)/float64(n))
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				m.Data[m.Index(i, j, k)] = v
+			}
+		}
+	}
+	res := m.MeasurePower(PowerSpectrumOptions{NBins: n / 2})
+	kTarget := 2 * math.Pi / l * float64(mode)
+	vol := l * l * l
+	// The wave contributes V A^2/4 at +k and at -k; both land in the same
+	// |k| bin, so the bin's total power must be V A^2/2.
+	wantTotal := amp * amp * vol / 2
+	// The peak lands in the single bin containing kTarget; all the power
+	// must be there and nowhere else.
+	best := -1
+	for i, r := range res {
+		if best < 0 || math.Abs(r.K-kTarget) < math.Abs(res[best].K-kTarget) {
+			best = i
+		}
+	}
+	if best < 0 {
+		t.Fatal("no spectrum bins measured")
+	}
+	binTotal := res[best].P * float64(res[best].Modes)
+	if math.Abs(binTotal-wantTotal)/wantTotal > 0.05 {
+		t.Errorf("plane-wave power: bin total %g, want %g", binTotal, wantTotal)
+	}
+	for i, r := range res {
+		if i != best && r.P*float64(r.Modes) > 1e-6*wantTotal {
+			t.Errorf("unexpected power %g in bin k=%g", r.P*float64(r.Modes), r.K)
+		}
+	}
+}
+
+func TestOverdensityMeanZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMesh(8, 1)
+	pos := make([]vec.V3, 2000)
+	for i := range pos {
+		pos[i] = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	m.DepositCIC(pos, nil)
+	m.Overdensity()
+	mean := m.Total() / float64(len(m.Data))
+	if math.Abs(mean) > 1e-12 {
+		t.Errorf("overdensity mean = %g", mean)
+	}
+}
+
+func TestCICWindowLimits(t *testing.T) {
+	if math.Abs(CICWindow(0, 0, 0, 100, 32)-1) > 1e-12 {
+		t.Error("window at k=0 must be 1")
+	}
+	ny := math.Pi * 32 / 100
+	if CICWindow(ny, 0, 0, 100, 32) >= 1 {
+		t.Error("window at the Nyquist frequency must be < 1")
+	}
+}

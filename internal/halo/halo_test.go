@@ -1,0 +1,109 @@
+package halo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twohot/internal/vec"
+)
+
+// mockUniverse places nHalo compact clumps plus a uniform background in a
+// periodic box.
+func mockUniverse(nHalo, perHalo, background int, box float64, seed int64) ([]vec.V3, []float64, []vec.V3) {
+	rng := rand.New(rand.NewSource(seed))
+	var pos []vec.V3
+	var centers []vec.V3
+	for h := 0; h < nHalo; h++ {
+		c := vec.V3{box * rng.Float64(), box * rng.Float64(), box * rng.Float64()}
+		centers = append(centers, c)
+		for i := 0; i < perHalo; i++ {
+			pos = append(pos, vec.WrapV(vec.V3{
+				c[0] + 0.01*box*rng.NormFloat64(),
+				c[1] + 0.01*box*rng.NormFloat64(),
+				c[2] + 0.01*box*rng.NormFloat64(),
+			}, box))
+		}
+	}
+	for i := 0; i < background; i++ {
+		pos = append(pos, vec.V3{box * rng.Float64(), box * rng.Float64(), box * rng.Float64()})
+	}
+	mass := make([]float64, len(pos))
+	for i := range mass {
+		mass[i] = 1
+	}
+	return pos, mass, centers
+}
+
+func TestFOFFindsPlantedHalos(t *testing.T) {
+	const nHalo = 5
+	pos, mass, centers := mockUniverse(nHalo, 200, 1000, 100, 1)
+	halos := FOF(pos, mass, Options{BoxSize: 100, MinMembers: 50})
+	if len(halos) != nHalo {
+		t.Fatalf("found %d halos, planted %d", len(halos), nHalo)
+	}
+	for _, h := range halos {
+		if h.N < 180 || h.N > 260 {
+			t.Errorf("halo membership %d out of expected range", h.N)
+		}
+		// Each found halo must be near a planted center.
+		best := math.Inf(1)
+		for _, c := range centers {
+			d := vec.MinImageV(h.Center.Sub(c), 100).Norm()
+			if d < best {
+				best = d
+			}
+		}
+		if best > 3 {
+			t.Errorf("halo center %v is %.1f Mpc/h from the nearest planted center", h.Center, best)
+		}
+	}
+	// Halos are sorted by decreasing mass.
+	for i := 1; i < len(halos); i++ {
+		if halos[i].Mass > halos[i-1].Mass {
+			t.Error("halos not sorted by mass")
+		}
+	}
+}
+
+func TestFOFPartitionProperties(t *testing.T) {
+	pos, mass, _ := mockUniverse(3, 100, 300, 50, 2)
+	halos := FOF(pos, mass, Options{BoxSize: 50, MinMembers: 20, KeepMembers: true})
+	seen := map[int]bool{}
+	for _, h := range halos {
+		if len(h.Members) != h.N {
+			t.Fatalf("member list length %d != N %d", len(h.Members), h.N)
+		}
+		for _, m := range h.Members {
+			if seen[m] {
+				t.Fatalf("particle %d assigned to two halos", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestSphericalOverdensityMass(t *testing.T) {
+	pos, mass, _ := mockUniverse(2, 800, 200, 100, 3)
+	opt := Options{BoxSize: 100, MinMembers: 100}
+	halos := FOF(pos, mass, opt)
+	SphericalOverdensity(pos, mass, halos, opt)
+	for _, h := range halos {
+		if h.M200b <= 0 || h.R200b <= 0 {
+			t.Errorf("SO mass not computed for halo with %d members", h.N)
+			continue
+		}
+		// The mean density inside R200b must be at least the 200x-mean
+		// threshold (the mock clumps have hard edges, so the discrete
+		// enclosed-density profile can overshoot right at the boundary).
+		rhoMean := float64(len(pos)) / (100 * 100 * 100)
+		got := h.M200b / (4.0 / 3.0 * math.Pi * math.Pow(h.R200b, 3))
+		if got < 190*rhoMean {
+			t.Errorf("enclosed density %.1f x mean, want >= 200x", got/rhoMean)
+		}
+		// The SO mass must be comparable to the FOF mass of the clump.
+		if h.M200b < 0.5*h.Mass || h.M200b > 1.5*h.Mass {
+			t.Errorf("M200b %.0f vs FOF mass %.0f", h.M200b, h.Mass)
+		}
+	}
+}

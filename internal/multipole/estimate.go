@@ -1,0 +1,86 @@
+package multipole
+
+import (
+	"math"
+
+	"twohot/internal/vec"
+)
+
+// FinalizeNorms computes and caches the contraction norms of the moments at
+// every order,
+//
+//	Norm_n = sqrt( sum_{|alpha|=n} (n!/alpha!) M_alpha^2 ),
+//
+// which the absolute-error multipole acceptance criterion uses to estimate
+// the size of the truncated terms.  Unlike the absolute moments B_n, these
+// norms reflect the cancellation achieved by background subtraction: the
+// delta moments of a nearly uniform cell are tiny even though its absolute
+// moments are large, which is precisely why the 2HOT MAC accepts far more
+// cells at a given tolerance once the background is removed.
+//
+// Call after the moments are final (the tree build does this); the traversal
+// then reads the cached norms concurrently.
+func (e *Expansion) FinalizeNorms() {
+	t := Table(e.P)
+	e.Norms = make([]float64, e.P+1)
+	for n := 0; n <= e.P; n++ {
+		sum := 0.0
+		for i := t.Offset[n]; i < t.Offset[n+1]; i++ {
+			w := t.Fact[n] * t.InvAF[i]
+			sum += w * e.M[i] * e.M[i]
+		}
+		e.Norms[n] = math.Sqrt(sum)
+	}
+}
+
+// AccelErrorEstimate returns an estimate of the acceleration error committed
+// by truncating this expansion at order q (q <= P) when evaluated at distance
+// d from the center.  For q < P the estimate uses the norm of the first
+// neglected moments; for q = P (nothing retained beyond the stored order) the
+// order-P norm is scaled by bmax as a proxy for the order-(P+1) moments.
+// It returns +Inf when d <= bmax or when FinalizeNorms has not been called.
+func (e *Expansion) AccelErrorEstimate(q int, d float64) float64 {
+	if e.Norms == nil || d <= e.Bmax {
+		return math.Inf(1)
+	}
+	if q > e.P {
+		q = e.P
+	}
+	denom := (d - e.Bmax) * (d - e.Bmax)
+	var lead float64
+	if q < e.P {
+		lead = e.Norms[q+1] / math.Pow(d, float64(q+1))
+	} else {
+		lead = e.Norms[e.P] * e.Bmax / math.Pow(d, float64(e.P+1))
+	}
+	return float64(q+2) * lead / denom
+}
+
+// EvaluateTruncated is Evaluate restricted to moments of order <= q, writing
+// the derivative tensors into the provided scratch slice (length at least
+// NumTerms(P+1)).  This is how the traversal spends monopole or quadrupole
+// work on interactions whose error estimate already meets the tolerance at
+// low order, reproducing the mixed interaction counts of Table 2.
+func (e *Expansion) EvaluateTruncated(x vec.V3, q int, scratch []float64) Result {
+	if q > e.P {
+		q = e.P
+	}
+	t := Table(e.P)
+	r := x.Sub(e.Center)
+	DerivativesInto(r, q+1, scratch[:NumTerms(q+1)])
+	var res Result
+	for n := 0; n <= q; n++ {
+		for i := t.Offset[n]; i < t.Offset[n+1]; i++ {
+			c := t.Coef[i] * e.M[i]
+			if c == 0 {
+				continue
+			}
+			res.Phi += c * scratch[i]
+			raise := t.Raise[i]
+			res.Acc[0] += c * scratch[raise[0]]
+			res.Acc[1] += c * scratch[raise[1]]
+			res.Acc[2] += c * scratch[raise[2]]
+		}
+	}
+	return res
+}

@@ -1,0 +1,283 @@
+package multipole
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twohot/internal/vec"
+)
+
+func randomSources(n int, rng *rand.Rand) ([]vec.V3, []float64) {
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
+		mass[i] = 0.5 + rng.Float64()
+	}
+	return pos, mass
+}
+
+func directField(pos []vec.V3, mass []float64, x vec.V3) Result {
+	var r Result
+	for i := range pos {
+		d := pos[i].Sub(x)
+		rr := d.Norm()
+		r.Phi += mass[i] / rr
+		r.Acc = r.Acc.Add(d.Scale(mass[i] / (rr * rr * rr)))
+	}
+	return r
+}
+
+func TestTableSizes(t *testing.T) {
+	for p := 0; p <= MaxOrder; p++ {
+		tab := Table(p)
+		if len(tab.Idx) != NumTerms(p) {
+			t.Errorf("p=%d: %d terms, want %d", p, len(tab.Idx), NumTerms(p))
+		}
+		for n := 0; n <= p; n++ {
+			if tab.Offset[n+1]-tab.Offset[n] != NumTermsOfOrder(n) {
+				t.Errorf("p=%d order %d count wrong", p, n)
+			}
+		}
+	}
+	if NumTerms(8) != 165 {
+		t.Errorf("NumTerms(8) = %d", NumTerms(8))
+	}
+}
+
+func TestCanonicalPositionMatchesEnumeration(t *testing.T) {
+	tab := Table(MaxOrder + 1)
+	for i, mi := range tab.Idx {
+		if CanonicalPos(mi) != i {
+			t.Fatalf("CanonicalPos(%v) = %d, want %d", mi, CanonicalPos(mi), i)
+		}
+	}
+}
+
+func TestDerivativesAgainstClosedForms(t *testing.T) {
+	r := vec.V3{1.3, -0.7, 2.1}
+	rr := r.Norm()
+	d := Derivatives(r, 3)
+	tab := Table(3)
+	check := func(mi MultiIndex, want float64) {
+		got := d.D[tab.Pos[mi]]
+		if math.Abs(got-want) > 1e-12*math.Abs(want)+1e-15 {
+			t.Errorf("D_%v = %g, want %g", mi, got, want)
+		}
+	}
+	check(MultiIndex{0, 0, 0}, 1/rr)
+	check(MultiIndex{1, 0, 0}, -r[0]/math.Pow(rr, 3))
+	check(MultiIndex{0, 1, 0}, -r[1]/math.Pow(rr, 3))
+	check(MultiIndex{2, 0, 0}, 3*r[0]*r[0]/math.Pow(rr, 5)-1/math.Pow(rr, 3))
+	check(MultiIndex{1, 1, 0}, 3*r[0]*r[1]/math.Pow(rr, 5))
+	check(MultiIndex{1, 0, 1}, 3*r[0]*r[2]/math.Pow(rr, 5))
+}
+
+func TestDerivativesAreHarmonic(t *testing.T) {
+	// 1/r is harmonic, so the trace over any pair of derivative indices
+	// must vanish: D_{a+2ex} + D_{a+2ey} + D_{a+2ez} = 0.
+	f := func(x, y, z float64) bool {
+		r := vec.V3{1 + math.Abs(x), 0.5 + math.Abs(y), 0.3 + math.Abs(z)}
+		d := Derivatives(r, 6)
+		tab := Table(6)
+		for _, base := range []MultiIndex{{0, 0, 0}, {1, 0, 0}, {0, 1, 1}, {2, 1, 0}} {
+			sum := 0.0
+			scale := 0.0
+			for ax := 0; ax < 3; ax++ {
+				up := base
+				up[ax] += 2
+				v := d.D[tab.Pos[up]]
+				sum += v
+				scale += math.Abs(v)
+			}
+			if scale > 0 && math.Abs(sum)/scale > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpansionConvergesWithOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pos, mass := randomSources(64, rng)
+	center := vec.V3{0.5, 0.5, 0.5}
+	x := vec.V3{3.5, 3.0, 2.5}
+	ref := directField(pos, mass, x)
+
+	prevErr := math.Inf(1)
+	for _, p := range []int{0, 2, 4, 6, 8} {
+		e := NewExpansion(p, center)
+		e.AddParticles(pos, mass)
+		e.FinalizeNorms()
+		res := e.Evaluate(x)
+		err := res.Acc.Sub(ref.Acc).Norm() / ref.Acc.Norm()
+		if err > prevErr*1.5 {
+			t.Errorf("error did not decrease with order: p=%d err=%g prev=%g", p, err, prevErr)
+		}
+		prevErr = err
+	}
+	if prevErr > 1e-6 {
+		t.Errorf("p=8 expansion error too large: %g", prevErr)
+	}
+}
+
+func TestErrorBoundIsConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		pos, mass := randomSources(32, rng)
+		center := vec.V3{0.5, 0.5, 0.5}
+		for _, p := range []int{0, 2, 4} {
+			e := NewExpansion(p, center)
+			e.AddParticles(pos, mass)
+			e.FinalizeNorms()
+			d := 1.5 + 3*rng.Float64()
+			dir := vec.V3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			dir = dir.Scale(1 / dir.Norm())
+			x := center.Add(dir.Scale(d))
+			ref := directField(pos, mass, x)
+			res := e.Evaluate(x)
+			actual := res.Acc.Sub(ref.Acc).Norm()
+			bound := e.AccelErrorBound(d)
+			if actual > bound*1.0001 {
+				t.Errorf("p=%d d=%.2f: actual error %g exceeds Salmon-Warren bound %g", p, d, actual, bound)
+			}
+		}
+	}
+}
+
+func TestErrorEstimateTracksActualError(t *testing.T) {
+	// The norm-based estimate used by the MAC is not a strict bound, but it
+	// must be within a modest factor of the true error (so that the errtol
+	// parameter maps predictably onto delivered accuracy).
+	rng := rand.New(rand.NewSource(3))
+	worstUnder := 0.0
+	for trial := 0; trial < 50; trial++ {
+		pos, mass := randomSources(48, rng)
+		center := vec.V3{0.5, 0.5, 0.5}
+		e := NewExpansion(4, center)
+		e.AddParticles(pos, mass)
+		e.FinalizeNorms()
+		d := 2 + 3*rng.Float64()
+		x := center.Add(vec.V3{d, 0, 0})
+		ref := directField(pos, mass, x)
+		res := e.Evaluate(x)
+		actual := res.Acc.Sub(ref.Acc).Norm()
+		est := e.AccelErrorEstimate(4, d)
+		if actual > 0 && est/actual < 0.2 {
+			if actual/est > worstUnder {
+				worstUnder = actual / est
+			}
+		}
+	}
+	if worstUnder > 20 {
+		t.Errorf("error estimate underestimates the true error by up to %gx", worstUnder)
+	}
+}
+
+func TestM2MShiftPreservesField(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pos, mass := randomSources(40, rng)
+	childCenter := vec.V3{0.25, 0.25, 0.25}
+	parentCenter := vec.V3{0.5, 0.5, 0.5}
+	x := vec.V3{4, 3, 5}
+
+	child := NewExpansion(4, childCenter)
+	child.AddParticles(pos, mass)
+	parent := NewExpansion(4, parentCenter)
+	parent.AddShifted(child)
+
+	directParent := NewExpansion(4, parentCenter)
+	directParent.AddParticles(pos, mass)
+
+	a := parent.Evaluate(x)
+	b := directParent.Evaluate(x)
+	if a.Acc.Sub(b.Acc).Norm()/b.Acc.Norm() > 1e-12 {
+		t.Errorf("M2M-shifted expansion differs from directly built one: %v vs %v", a.Acc, b.Acc)
+	}
+	// Mass conservation under shift.
+	if math.Abs(parent.Mass-directParent.Mass) > 1e-12 {
+		t.Error("M2M does not conserve mass")
+	}
+}
+
+func TestM2LAndL2P(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pos, mass := randomSources(30, rng)
+	srcCenter := vec.V3{0.5, 0.5, 0.5}
+	locCenter := vec.V3{6, 5, 4}
+
+	src := NewExpansion(4, srcCenter)
+	src.AddParticles(pos, mass)
+
+	T := Derivatives(locCenter.Sub(srcCenter), 8)
+	loc := NewLocal(4, locCenter)
+	loc.AddM2L(src, T)
+
+	for _, h := range []vec.V3{{0.1, 0, 0}, {-0.2, 0.3, 0.1}, {0, 0, 0.25}} {
+		x := locCenter.Add(h)
+		ref := directField(pos, mass, x)
+		got := loc.Evaluate(x)
+		if got.Acc.Sub(ref.Acc).Norm()/ref.Acc.Norm() > 1e-4 {
+			t.Errorf("local expansion at %v: %v vs %v", h, got.Acc, ref.Acc)
+		}
+	}
+}
+
+func TestEvaluateTruncatedMatchesLowerOrderExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pos, mass := randomSources(20, rng)
+	center := vec.V3{0.5, 0.5, 0.5}
+	full := NewExpansion(4, center)
+	full.AddParticles(pos, mass)
+	quad := NewExpansion(2, center)
+	quad.AddParticles(pos, mass)
+	x := vec.V3{3, 2, 4}
+	scratch := make([]float64, ScratchSize(4))
+	a := full.EvaluateTruncated(x, 2, scratch)
+	b := quad.Evaluate(x)
+	if a.Acc.Sub(b.Acc).Norm() > 1e-13 {
+		t.Errorf("truncated evaluation differs from genuine low-order expansion")
+	}
+}
+
+func TestBlockedMonopoleMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, n := 64, 32
+	src := NewSource32(m)
+	for j := 0; j < m; j++ {
+		src.Append(rng.Float32(), rng.Float32(), rng.Float32(), rng.Float32()+0.5)
+	}
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	zs := make([]float32, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i], zs[i] = rng.Float32()+2, rng.Float32()+2, rng.Float32()+2
+	}
+	a := NewSink32(xs, ys, zs)
+	b := NewSink32(xs, ys, zs)
+	BlockedMonopole32(src, a, 1e-6)
+	ScalarMonopole32(src, b, 1e-6)
+	for i := 0; i < n; i++ {
+		if math.Abs(float64(a.Ax[i]-b.Ax[i])) > 1e-5 || math.Abs(float64(a.Pot[i]-b.Pot[i])) > 1e-4 {
+			t.Fatalf("blocked and scalar kernels disagree at sink %d", i)
+		}
+	}
+	if a.Interactions() != int64(m*n) {
+		t.Errorf("interaction count %d, want %d", a.Interactions(), m*n)
+	}
+}
+
+func TestBinomial3(t *testing.T) {
+	if Binomial3(MultiIndex{2, 1, 0}, MultiIndex{1, 1, 0}) != 2 {
+		t.Error("C(2,1)*C(1,1)*C(0,0) should be 2")
+	}
+	if Binomial3(MultiIndex{1, 0, 0}, MultiIndex{2, 0, 0}) != 0 {
+		t.Error("beta > alpha must give 0")
+	}
+}

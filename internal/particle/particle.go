@@ -1,0 +1,191 @@
+// Package particle defines the particle storage shared by the force solvers,
+// the domain decomposition and the I/O layer.  Storage is a structure of
+// arrays, the layout the paper's m-by-n interaction blocking and SIMD
+// swizzling assume.
+package particle
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"twohot/internal/keys"
+	"twohot/internal/vec"
+)
+
+// Set is a structure-of-arrays particle container.
+type Set struct {
+	Pos  []vec.V3  // comoving positions [Mpc/h]
+	Mom  []vec.V3  // canonical momenta a^2 dx/dt [Mpc/h km/s] (or plain velocities in non-cosmological runs)
+	Mass []float64 // particle masses [1e10 Msun/h]
+	ID   []int64   // unique particle identifiers
+	Acc  []vec.V3  // last computed accelerations
+	Pot  []float64 // last computed kernel sums (potential = -G * Pot)
+	Work []float64 // per-particle work estimate from the previous step (interaction counts), used for load balancing
+}
+
+// New allocates an empty set with capacity n.
+func New(n int) *Set {
+	return &Set{
+		Pos:  make([]vec.V3, 0, n),
+		Mom:  make([]vec.V3, 0, n),
+		Mass: make([]float64, 0, n),
+		ID:   make([]int64, 0, n),
+		Acc:  make([]vec.V3, 0, n),
+		Pot:  make([]float64, 0, n),
+		Work: make([]float64, 0, n),
+	}
+}
+
+// Len returns the number of particles.
+func (s *Set) Len() int { return len(s.Pos) }
+
+// Append adds one particle.
+func (s *Set) Append(pos, mom vec.V3, mass float64, id int64) {
+	s.Pos = append(s.Pos, pos)
+	s.Mom = append(s.Mom, mom)
+	s.Mass = append(s.Mass, mass)
+	s.ID = append(s.ID, id)
+	s.Acc = append(s.Acc, vec.V3{})
+	s.Pot = append(s.Pot, 0)
+	s.Work = append(s.Work, 1)
+}
+
+// AppendFrom copies particle i of src into s.
+func (s *Set) AppendFrom(src *Set, i int) {
+	s.Pos = append(s.Pos, src.Pos[i])
+	s.Mom = append(s.Mom, src.Mom[i])
+	s.Mass = append(s.Mass, src.Mass[i])
+	s.ID = append(s.ID, src.ID[i])
+	s.Acc = append(s.Acc, src.Acc[i])
+	s.Pot = append(s.Pot, src.Pot[i])
+	s.Work = append(s.Work, src.Work[i])
+}
+
+// Swap exchanges particles i and j.
+func (s *Set) Swap(i, j int) {
+	s.Pos[i], s.Pos[j] = s.Pos[j], s.Pos[i]
+	s.Mom[i], s.Mom[j] = s.Mom[j], s.Mom[i]
+	s.Mass[i], s.Mass[j] = s.Mass[j], s.Mass[i]
+	s.ID[i], s.ID[j] = s.ID[j], s.ID[i]
+	s.Acc[i], s.Acc[j] = s.Acc[j], s.Acc[i]
+	s.Pot[i], s.Pot[j] = s.Pot[j], s.Pot[i]
+	s.Work[i], s.Work[j] = s.Work[j], s.Work[i]
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := New(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		c.AppendFrom(s, i)
+	}
+	return c
+}
+
+// TotalMass returns the summed particle mass.
+func (s *Set) TotalMass() float64 {
+	t := 0.0
+	for _, m := range s.Mass {
+		t += m
+	}
+	return t
+}
+
+// Keys computes the space-filling-curve key of every particle for the given
+// root box and curve.
+func (s *Set) Keys(box vec.Box, curve keys.Curve) []uint64 {
+	out := make([]uint64, s.Len())
+	for i, p := range s.Pos {
+		out[i] = uint64(keys.FromPosition(p, box, curve))
+	}
+	return out
+}
+
+// SortByKey reorders the particles in place into ascending key order (the
+// spatial-locality ordering used to update particles, Section 3.3).  It
+// returns the sorted keys.
+func (s *Set) SortByKey(box vec.Box, curve keys.Curve) []uint64 {
+	ks := s.Keys(box, curve)
+	idx := make([]int, s.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
+	s.Permute(idx)
+	sorted := make([]uint64, len(ks))
+	for i, j := range idx {
+		sorted[i] = ks[j]
+	}
+	return sorted
+}
+
+// Permute reorders the set so that new position i holds old particle idx[i].
+func (s *Set) Permute(idx []int) {
+	n := s.Len()
+	if len(idx) != n {
+		panic("particle: Permute index length mismatch")
+	}
+	newSet := New(n)
+	for _, j := range idx {
+		newSet.AppendFrom(s, j)
+	}
+	*s = *newSet
+}
+
+// particleRecordSize is the encoded byte size of one particle.
+const particleRecordSize = 3*8 + 3*8 + 8 + 8 + 8 // pos, mom, mass, id, work
+
+// EncodeRange serializes particles [lo, hi) into a byte slice for exchange.
+func (s *Set) EncodeRange(indices []int) []byte {
+	buf := bytes.NewBuffer(make([]byte, 0, len(indices)*particleRecordSize))
+	for _, i := range indices {
+		binary.Write(buf, binary.LittleEndian, s.Pos[i])
+		binary.Write(buf, binary.LittleEndian, s.Mom[i])
+		binary.Write(buf, binary.LittleEndian, s.Mass[i])
+		binary.Write(buf, binary.LittleEndian, s.ID[i])
+		binary.Write(buf, binary.LittleEndian, s.Work[i])
+	}
+	return buf.Bytes()
+}
+
+// DecodeAppend appends particles serialized by EncodeRange.
+func (s *Set) DecodeAppend(data []byte) error {
+	if len(data)%particleRecordSize != 0 {
+		return fmt.Errorf("particle: encoded data length %d is not a multiple of record size", len(data))
+	}
+	r := bytes.NewReader(data)
+	n := len(data) / particleRecordSize
+	for i := 0; i < n; i++ {
+		var pos, mom vec.V3
+		var mass, work float64
+		var id int64
+		binary.Read(r, binary.LittleEndian, &pos)
+		binary.Read(r, binary.LittleEndian, &mom)
+		binary.Read(r, binary.LittleEndian, &mass)
+		binary.Read(r, binary.LittleEndian, &id)
+		binary.Read(r, binary.LittleEndian, &work)
+		s.Append(pos, mom, mass, id)
+		s.Work[s.Len()-1] = work
+	}
+	return nil
+}
+
+// Select removes the particles at the given (sorted, unique) indices and
+// returns them as a new set.
+func (s *Set) Select(indices []int) *Set {
+	sel := New(len(indices))
+	mark := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		sel.AppendFrom(s, i)
+		mark[i] = true
+	}
+	keep := New(s.Len() - len(indices))
+	for i := 0; i < s.Len(); i++ {
+		if !mark[i] {
+			keep.AppendFrom(s, i)
+		}
+	}
+	*s = *keep
+	return sel
+}

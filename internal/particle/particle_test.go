@@ -1,0 +1,87 @@
+package particle
+
+import (
+	"math/rand"
+	"testing"
+
+	"twohot/internal/keys"
+	"twohot/internal/parsort"
+	"twohot/internal/vec"
+)
+
+func randomSet(n int, seed int64) *Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(n)
+	for i := 0; i < n; i++ {
+		s.Append(
+			vec.V3{rng.Float64(), rng.Float64(), rng.Float64()},
+			vec.V3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+			1+rng.Float64(), int64(i))
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := randomSet(57, 1)
+	idx := []int{3, 17, 44}
+	blob := s.EncodeRange(idx)
+	dst := New(0)
+	if err := dst.DecodeAppend(blob); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("decoded %d particles", dst.Len())
+	}
+	for k, i := range idx {
+		if dst.Pos[k] != s.Pos[i] || dst.Mom[k] != s.Mom[i] || dst.ID[k] != s.ID[i] || dst.Mass[k] != s.Mass[i] {
+			t.Fatalf("particle %d corrupted in transit", i)
+		}
+	}
+	if err := dst.DecodeAppend([]byte{1, 2, 3}); err == nil {
+		t.Error("expected error for truncated record")
+	}
+}
+
+func TestSortByKeyOrdersAlongCurve(t *testing.T) {
+	s := randomSet(500, 2)
+	box := vec.CubeBox(vec.V3{}, 1)
+	ks := s.SortByKey(box, keys.Morton)
+	if !parsort.IsSorted(ks) {
+		t.Fatal("keys not sorted")
+	}
+	// Sorted keys must correspond to the (reordered) positions.
+	for i := range ks {
+		if uint64(keys.FromPosition(s.Pos[i], box, keys.Morton)) != ks[i] {
+			t.Fatalf("key %d does not match its particle", i)
+		}
+	}
+	// IDs are a permutation of 0..n-1.
+	seen := map[int64]bool{}
+	for _, id := range s.ID {
+		if seen[id] {
+			t.Fatal("duplicate ID after sort")
+		}
+		seen[id] = true
+	}
+}
+
+func TestSelectRemovesAndReturns(t *testing.T) {
+	s := randomSet(20, 3)
+	total := s.TotalMass()
+	sel := s.Select([]int{0, 5, 19})
+	if sel.Len() != 3 || s.Len() != 17 {
+		t.Fatalf("select sizes: %d, %d", sel.Len(), s.Len())
+	}
+	if diff := total - s.TotalMass() - sel.TotalMass(); diff > 1e-12 || diff < -1e-12 {
+		t.Error("mass not conserved by Select")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := randomSet(5, 4)
+	c := s.Clone()
+	c.Pos[0][0] = 999
+	if s.Pos[0][0] == 999 {
+		t.Error("Clone shares storage with the original")
+	}
+}

@@ -1,0 +1,102 @@
+package pm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twohot/internal/cosmo"
+	"twohot/internal/ewald"
+	"twohot/internal/vec"
+)
+
+func TestPMForcesAgainstEwald(t *testing.T) {
+	// A small periodic system: PM long-range forces (with CIC deconvolution)
+	// should agree with Ewald for well-separated particles to mesh accuracy.
+	rng := rand.New(rand.NewSource(1))
+	const n = 64
+	const l = 100.0
+	pos := make([]vec.V3, n)
+	for i := range pos {
+		pos[i] = vec.V3{l * rng.Float64(), l * rng.Float64(), l * rng.Float64()}
+	}
+	mass := 1.0
+
+	s := NewSolver(Options{Mesh: 64, BoxSize: l, DeconvolveCIC: true})
+	acc := make([]vec.V3, n)
+	s.Accelerations(pos, mass, acc)
+
+	masses := make([]float64, n)
+	for i := range masses {
+		masses[i] = mass
+	}
+	ref := ewald.ReferenceForces(pos, masses, l, ewald.Options{RealShell: 3, KShell: 6})
+	// Scale reference by G to match the PM output.
+	rms, refRMS := 0.0, 0.0
+	for i := range ref {
+		ref[i] = ref[i].Scale(cosmo.G)
+		refRMS += ref[i].Norm2()
+		rms += acc[i].Sub(ref[i]).Norm2()
+	}
+	rel := math.Sqrt(rms / refRMS)
+	t.Logf("PM vs Ewald rms relative error: %.3f", rel)
+	// Pure PM is only accurate for separations much larger than a mesh cell;
+	// with 64 particles most pairs sit a few cells apart, so large errors
+	// here are expected (this is exactly the force-error criticism the paper
+	// levels at pure particle-mesh methods).  Just require finite, non-crazy
+	// output.
+	if math.IsNaN(rel) || rel > 2 {
+		t.Errorf("pure PM error %.3f is pathological", rel)
+	}
+
+	// TreePM (mesh + erfc short range) must be far more accurate than pure
+	// PM for the same mesh -- the whole point of the split.
+	tp := NewSolver(Options{Mesh: 64, BoxSize: l, DeconvolveCIC: true, Asmth: 1.25, Eps: 0.05})
+	acc2 := make([]vec.V3, n)
+	tp.Accelerations(pos, mass, acc2)
+	rms2 := 0.0
+	for i := range ref {
+		rms2 += acc2[i].Sub(ref[i]).Norm2()
+	}
+	rel2 := math.Sqrt(rms2 / refRMS)
+	t.Logf("TreePM vs Ewald rms relative error: %.3f", rel2)
+	if rel2 > 0.05 {
+		t.Errorf("TreePM error %.3f too large", rel2)
+	}
+	if rel2 > rel/3 {
+		t.Errorf("TreePM (%.3f) should be far more accurate than pure PM (%.3f)", rel2, rel)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 200
+	const l = 50.0
+	pos := make([]vec.V3, n)
+	for i := range pos {
+		pos[i] = vec.V3{l * rng.Float64(), l * rng.Float64(), l * rng.Float64()}
+	}
+	s := NewSolver(Options{Mesh: 32, BoxSize: l, DeconvolveCIC: true, Asmth: 1.25, Eps: 0.1})
+	acc := make([]vec.V3, n)
+	s.Accelerations(pos, 2.0, acc)
+	var net vec.V3
+	var scale float64
+	for _, a := range acc {
+		net = net.Add(a)
+		scale += a.Norm()
+	}
+	if net.Norm() > 1e-6*scale {
+		t.Errorf("net force %v should vanish (total %g)", net, scale)
+	}
+}
+
+func TestSplitScale(t *testing.T) {
+	s := NewSolver(Options{Mesh: 64, BoxSize: 128, Asmth: 1.25})
+	if math.Abs(s.SplitScale()-1.25*2) > 1e-12 {
+		t.Errorf("split scale %g", s.SplitScale())
+	}
+	pure := NewSolver(Options{Mesh: 64, BoxSize: 128})
+	if pure.SplitScale() != 0 {
+		t.Error("pure PM should have no split scale")
+	}
+}

@@ -1,0 +1,295 @@
+// Package sdf implements the self-describing file format used by 2HOT for
+// snapshots and checkpoints (Section 3.4.2): an ASCII header containing
+// parameter assignments and a C-style struct declaration describing the raw
+// binary particle records that follow.  Checkpoints additionally record the
+// leapfrog offset between positions and momenta so that a restarted run keeps
+// second-order accuracy in the time integration (Section 2.3).
+package sdf
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"twohot/internal/particle"
+	"twohot/internal/vec"
+)
+
+// headerTerminator separates the ASCII header from the binary body.
+const headerTerminator = "# SDF-EOH\n"
+
+// Header holds the parsed metadata of an SDF file.
+type Header struct {
+	Parameters map[string]string
+	// Struct fields in declaration order; this reproduction always writes
+	// the canonical particle record below but will refuse to read layouts
+	// it does not understand.
+	Fields []string
+	NBody  int64
+}
+
+// canonicalFields is the particle record layout written by this package.
+var canonicalFields = []string{"x", "y", "z", "vx", "vy", "vz", "mass", "ident"}
+
+// SetFloat stores a float64 parameter.
+func (h *Header) SetFloat(key string, v float64) {
+	h.Parameters[key] = strconv.FormatFloat(v, 'g', 17, 64)
+}
+
+// Float returns a float64 parameter.
+func (h *Header) Float(key string) (float64, bool) {
+	s, ok := h.Parameters[key]
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Snapshot couples the particle data with the metadata needed to interpret
+// it.
+type Snapshot struct {
+	Particles *particle.Set
+	ScaleFac  float64 // scale factor of the positions
+	// MomentumScaleFac is the scale factor at which the canonical momenta
+	// are valid; it differs from ScaleFac by half a step in a leapfrog
+	// checkpoint.
+	MomentumScaleFac float64
+	BoxSize          float64
+	Cosmology        string
+	Extra            map[string]string
+}
+
+// Write stores the snapshot at path.
+func Write(path string, s *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+
+	n := s.Particles.Len()
+	fmt.Fprintf(w, "# SDF 1.0\n")
+	params := map[string]string{
+		"npart":       strconv.Itoa(n),
+		"a":           strconv.FormatFloat(s.ScaleFac, 'g', 17, 64),
+		"a_momentum":  strconv.FormatFloat(s.MomentumScaleFac, 'g', 17, 64),
+		"boxsize":     strconv.FormatFloat(s.BoxSize, 'g', 17, 64),
+		"cosmology":   s.Cosmology,
+		"units_len":   "Mpc/h",
+		"units_mass":  "1e10 Msun/h",
+		"units_vel":   "km/s",
+		"code":        "twohot",
+		"sdf_version": "1.0",
+	}
+	for k, v := range s.Extra {
+		params["x_"+k] = v
+	}
+	keysSorted := make([]string, 0, len(params))
+	for k := range params {
+		keysSorted = append(keysSorted, k)
+	}
+	sort.Strings(keysSorted)
+	for _, k := range keysSorted {
+		fmt.Fprintf(w, "%s = %s;\n", k, params[k])
+	}
+	fmt.Fprintf(w, "struct {\n")
+	fmt.Fprintf(w, "\tdouble x, y, z;\n")
+	fmt.Fprintf(w, "\tdouble vx, vy, vz;\n")
+	fmt.Fprintf(w, "\tdouble mass;\n")
+	fmt.Fprintf(w, "\tint64_t ident;\n")
+	fmt.Fprintf(w, "}[%d];\n", n)
+	fmt.Fprint(w, headerTerminator)
+
+	p := s.Particles
+	for i := 0; i < n; i++ {
+		rec := []any{
+			p.Pos[i][0], p.Pos[i][1], p.Pos[i][2],
+			p.Mom[i][0], p.Mom[i][1], p.Mom[i][2],
+			p.Mass[i], p.ID[i],
+		}
+		for _, v := range rec {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// Read loads a snapshot from path.
+func Read(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(bufio.NewReader(f))
+}
+
+// ReadFrom parses a snapshot from a reader.
+func ReadFrom(r *bufio.Reader) (*Snapshot, error) {
+	h := &Header{Parameters: map[string]string{}}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("sdf: unterminated header: %w", err)
+		}
+		if line == headerTerminator {
+			break
+		}
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "" || strings.HasPrefix(trimmed, "#"):
+			continue
+		case strings.HasPrefix(trimmed, "struct"):
+			// parse the struct block to the closing brace line
+			var structLines []string
+			for {
+				l, err := r.ReadString('\n')
+				if err != nil {
+					return nil, fmt.Errorf("sdf: unterminated struct: %w", err)
+				}
+				ls := strings.TrimSpace(l)
+				if strings.HasPrefix(ls, "}") {
+					// "}[N];"
+					open := strings.Index(ls, "[")
+					close := strings.Index(ls, "]")
+					if open < 0 || close < open {
+						return nil, fmt.Errorf("sdf: malformed struct count %q", ls)
+					}
+					n, err := strconv.ParseInt(ls[open+1:close], 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("sdf: bad particle count: %w", err)
+					}
+					h.NBody = n
+					break
+				}
+				structLines = append(structLines, ls)
+			}
+			for _, sl := range structLines {
+				sl = strings.TrimSuffix(sl, ";")
+				parts := strings.Fields(sl)
+				if len(parts) < 2 {
+					continue
+				}
+				for _, name := range strings.Split(strings.Join(parts[1:], ""), ",") {
+					if name != "" {
+						h.Fields = append(h.Fields, name)
+					}
+				}
+			}
+		case strings.Contains(trimmed, "="):
+			kv := strings.SplitN(strings.TrimSuffix(trimmed, ";"), "=", 2)
+			h.Parameters[strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1])
+		}
+	}
+	if len(h.Fields) != len(canonicalFields) {
+		return nil, fmt.Errorf("sdf: unsupported struct layout %v", h.Fields)
+	}
+	for i, f := range h.Fields {
+		if f != canonicalFields[i] {
+			return nil, fmt.Errorf("sdf: unsupported struct layout %v", h.Fields)
+		}
+	}
+
+	s := &Snapshot{Particles: particle.New(int(h.NBody)), Extra: map[string]string{}}
+	if v, ok := h.Float("a"); ok {
+		s.ScaleFac = v
+	}
+	if v, ok := h.Float("a_momentum"); ok {
+		s.MomentumScaleFac = v
+	} else {
+		s.MomentumScaleFac = s.ScaleFac
+	}
+	if v, ok := h.Float("boxsize"); ok {
+		s.BoxSize = v
+	}
+	s.Cosmology = h.Parameters["cosmology"]
+	for k, v := range h.Parameters {
+		if strings.HasPrefix(k, "x_") {
+			s.Extra[strings.TrimPrefix(k, "x_")] = v
+		}
+	}
+
+	buf := make([]byte, 8*8)
+	for i := int64(0); i < h.NBody; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("sdf: truncated body at particle %d: %w", i, err)
+		}
+		vals := make([]float64, 7)
+		for j := 0; j < 7; j++ {
+			vals[j] = float64FromBytes(buf[8*j : 8*j+8])
+		}
+		id := int64(binary.LittleEndian.Uint64(buf[56:64]))
+		s.Particles.Append(
+			vec.V3{vals[0], vals[1], vals[2]},
+			vec.V3{vals[3], vals[4], vals[5]},
+			vals[6], id)
+	}
+	return s, nil
+}
+
+func float64FromBytes(b []byte) float64 {
+	var v float64
+	binary.Read(bytes.NewReader(b), binary.LittleEndian, &v)
+	return v
+}
+
+// WriteStriped writes the snapshot across nFiles files (path.0, path.1, ...)
+// to mimic the multi-file I/O used to bypass filesystem striping limits
+// (Section 3.4.2).  File k receives particles k, k+nFiles, k+2*nFiles, ...
+func WriteStriped(path string, s *Snapshot, nFiles int) error {
+	if nFiles <= 1 {
+		return Write(path, s)
+	}
+	for k := 0; k < nFiles; k++ {
+		sub := &Snapshot{
+			ScaleFac:         s.ScaleFac,
+			MomentumScaleFac: s.MomentumScaleFac,
+			BoxSize:          s.BoxSize,
+			Cosmology:        s.Cosmology,
+			Extra:            map[string]string{"stripe": fmt.Sprintf("%d/%d", k, nFiles)},
+			Particles:        particle.New(s.Particles.Len()/nFiles + 1),
+		}
+		for i := k; i < s.Particles.Len(); i += nFiles {
+			sub.Particles.AppendFrom(s.Particles, i)
+		}
+		if err := Write(fmt.Sprintf("%s.%d", path, k), sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadStriped reads a snapshot written by WriteStriped.
+func ReadStriped(path string, nFiles int) (*Snapshot, error) {
+	if nFiles <= 1 {
+		return Read(path)
+	}
+	var out *Snapshot
+	for k := 0; k < nFiles; k++ {
+		s, err := Read(fmt.Sprintf("%s.%d", path, k))
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = s
+			continue
+		}
+		for i := 0; i < s.Particles.Len(); i++ {
+			out.Particles.AppendFrom(s.Particles, i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+// Package stask is the task-management substrate of Section 3.4.1: a small
+// dependency-aware task queue that runs many smaller jobs (data analysis,
+// parameter sweeps, MapReduce-style post-processing) inside one large
+// allocation, with support for the pre-emption notice the paper wishes
+// queueing systems provided ("send a signal at least 600 seconds in
+// advance").
+package stask
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// State describes a task's lifecycle.
+type State int
+
+const (
+	Pending State = iota
+	Running
+	Done
+	Failed
+	Skipped // dependencies failed
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Skipped:
+		return "skipped"
+	default:
+		return "unknown"
+	}
+}
+
+// Task is one unit of work.
+type Task struct {
+	Name     string
+	Deps     []string
+	Priority int // higher runs earlier among ready tasks
+	Run      func(ctx context.Context) error
+
+	state State
+	err   error
+}
+
+// State returns the task's current state.
+func (t *Task) State() State { return t.state }
+
+// Err returns the task's failure, if any.
+func (t *Task) Err() error { return t.err }
+
+// Queue executes tasks respecting dependencies with a bounded worker pool.
+type Queue struct {
+	mu       sync.Mutex
+	tasks    map[string]*Task
+	order    []string
+	finished chan struct{}
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	return &Queue{tasks: map[string]*Task{}, finished: make(chan struct{}, 1024)}
+}
+
+// Add registers a task.  Names must be unique.
+func (q *Queue) Add(t *Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t.Name == "" {
+		return errors.New("stask: task must have a name")
+	}
+	if _, dup := q.tasks[t.Name]; dup {
+		return fmt.Errorf("stask: duplicate task %q", t.Name)
+	}
+	q.tasks[t.Name] = t
+	q.order = append(q.order, t.Name)
+	return nil
+}
+
+// AddFunc is a convenience wrapper around Add.
+func (q *Queue) AddFunc(name string, deps []string, fn func(ctx context.Context) error) error {
+	return q.Add(&Task{Name: name, Deps: deps, Run: fn})
+}
+
+// Task returns a registered task.
+func (q *Queue) Task(name string) (*Task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tasks[name]
+	return t, ok
+}
+
+// Run executes all tasks with the given number of workers.  It returns an
+// error if any task failed or if the dependency graph is unsatisfiable
+// (cycle or missing dependency).  Cancelling the context stops launching new
+// tasks (the pre-emption path: running tasks observe ctx themselves, e.g. by
+// writing a checkpoint).
+func (q *Queue) Run(ctx context.Context, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	q.mu.Lock()
+	for _, name := range q.order {
+		for _, d := range q.tasks[name].Deps {
+			if _, ok := q.tasks[d]; !ok {
+				q.mu.Unlock()
+				return fmt.Errorf("stask: task %q depends on unknown task %q", name, d)
+			}
+		}
+	}
+	// Ensure the completion channel can hold one notification per task so
+	// that none is ever dropped (which could strand the scheduler loop).
+	if cap(q.finished) < len(q.tasks)+1 {
+		q.finished = make(chan struct{}, len(q.tasks)+1)
+	}
+	q.mu.Unlock()
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	var firstErr error
+	var errMu sync.Mutex
+
+	for {
+		ready := q.nextReady()
+		if ready == nil {
+			// Either everything is finished, something is still running, or
+			// the remainder is blocked.
+			if q.allSettled() {
+				break
+			}
+			if ctx.Err() != nil && q.noneRunning() {
+				break
+			}
+			// Wait for a running task to finish before rescanning.  The
+			// channel is buffered with room for every completion, so a task
+			// finishing between the scan above and this receive is never
+			// missed.
+			<-q.finished
+			continue
+		}
+		if ctx.Err() != nil {
+			q.setState(ready, Skipped, ctx.Err())
+			continue
+		}
+		q.setState(ready, Running, nil)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t *Task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			err := t.Run(ctx)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("stask: task %q: %w", t.Name, err)
+				}
+				errMu.Unlock()
+				q.setState(t, Failed, err)
+			} else {
+				q.setState(t, Done, nil)
+			}
+		}(ready)
+	}
+	wg.Wait()
+	// Mark any tasks blocked on failures as skipped.
+	q.mu.Lock()
+	for _, name := range q.order {
+		t := q.tasks[name]
+		if t.state == Pending {
+			t.state = Skipped
+		}
+	}
+	q.mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+func (q *Queue) setState(t *Task, s State, err error) {
+	q.mu.Lock()
+	t.state = s
+	t.err = err
+	q.mu.Unlock()
+	if s == Done || s == Failed || s == Skipped {
+		select {
+		case q.finished <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// nextReady returns the highest-priority pending task whose dependencies are
+// all done, or nil.
+func (q *Queue) nextReady() *Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var best *Task
+	for _, name := range q.order {
+		t := q.tasks[name]
+		if t.state != Pending {
+			continue
+		}
+		ok := true
+		failedDep := false
+		for _, d := range t.Deps {
+			switch q.tasks[d].state {
+			case Done:
+			case Failed, Skipped:
+				failedDep = true
+			default:
+				ok = false
+			}
+		}
+		if failedDep {
+			t.state = Skipped
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || t.Priority > best.Priority {
+			best = t
+		}
+	}
+	return best
+}
+
+func (q *Queue) allSettled() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, name := range q.order {
+		s := q.tasks[name].state
+		if s == Pending || s == Running {
+			return false
+		}
+	}
+	return true
+}
+
+func (q *Queue) noneRunning() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, name := range q.order {
+		if q.tasks[name].state == Running {
+			return false
+		}
+	}
+	return true
+}
+
+// States returns a name -> state snapshot.
+func (q *Queue) States() map[string]State {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]State, len(q.tasks))
+	for n, t := range q.tasks {
+		out[n] = t.state
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package stask
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDependenciesRespected(t *testing.T) {
+	q := NewQueue()
+	var order []string
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	record := func(name string) func(ctx context.Context) error {
+		return func(ctx context.Context) error {
+			<-mu
+			order = append(order, name)
+			mu <- struct{}{}
+			return nil
+		}
+	}
+	q.AddFunc("ic", nil, record("ic"))
+	q.AddFunc("evolve", []string{"ic"}, record("evolve"))
+	q.AddFunc("halos", []string{"evolve"}, record("halos"))
+	q.AddFunc("power", []string{"evolve"}, record("power"))
+	if err := q.Run(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	posOf := func(n string) int {
+		for i, v := range order {
+			if v == n {
+				return i
+			}
+		}
+		return -1
+	}
+	if posOf("ic") > posOf("evolve") || posOf("evolve") > posOf("halos") || posOf("evolve") > posOf("power") {
+		t.Errorf("dependency order violated: %v", order)
+	}
+	for name, s := range q.States() {
+		if s != Done {
+			t.Errorf("task %s state %v", name, s)
+		}
+	}
+}
+
+func TestFailurePropagatesAndSkipsDependents(t *testing.T) {
+	q := NewQueue()
+	boom := errors.New("boom")
+	q.AddFunc("a", nil, func(ctx context.Context) error { return boom })
+	var ran int64
+	q.AddFunc("b", []string{"a"}, func(ctx context.Context) error { atomic.AddInt64(&ran, 1); return nil })
+	err := q.Run(context.Background(), 2)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("expected failure, got %v", err)
+	}
+	if atomic.LoadInt64(&ran) != 0 {
+		t.Error("dependent task ran despite failed dependency")
+	}
+	states := q.States()
+	if states["a"] != Failed || states["b"] != Skipped {
+		t.Errorf("states %v", states)
+	}
+}
+
+func TestMissingDependencyRejected(t *testing.T) {
+	q := NewQueue()
+	q.AddFunc("x", []string{"ghost"}, func(ctx context.Context) error { return nil })
+	if err := q.Run(context.Background(), 1); err == nil {
+		t.Error("expected missing-dependency error")
+	}
+}
+
+func TestManyIndependentTasks(t *testing.T) {
+	q := NewQueue()
+	var count int64
+	for i := 0; i < 200; i++ {
+		name := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		q.AddFunc(name, nil, func(ctx context.Context) error { atomic.AddInt64(&count, 1); return nil })
+	}
+	if err := q.Run(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if count != 200 {
+		t.Errorf("ran %d of 200 tasks", count)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	q := NewQueue()
+	if err := q.AddFunc("same", nil, func(ctx context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddFunc("same", nil, func(ctx context.Context) error { return nil }); err == nil {
+		t.Error("duplicate task name accepted")
+	}
+}

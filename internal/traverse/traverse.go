@@ -1,0 +1,458 @@
+// Package traverse implements the 2HOT tree traversal: the multipole
+// acceptance criterion (both the Barnes–Hut opening angle and the
+// absolute-error criterion built on the Salmon–Warren error machinery),
+// interaction-list construction with the m-by-n blocking of Section 3.3,
+// background subtraction in both the far field (delta moments) and the near
+// field (analytic uniform-cube removal, Figure 2), explicit periodic replicas
+// and the far-lattice local expansion of Section 2.4, and the interaction
+// counters behind the Table 2 flop accounting.
+package traverse
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"twohot/internal/cube"
+	"twohot/internal/ewald"
+	"twohot/internal/multipole"
+	"twohot/internal/softening"
+	"twohot/internal/tree"
+	"twohot/internal/vec"
+)
+
+// MACType selects the multipole acceptance criterion.
+type MACType int
+
+const (
+	// MACAbsoluteError accepts an interaction when the estimated
+	// acceleration error is below AccTol (2HOT's production criterion).
+	MACAbsoluteError MACType = iota
+	// MACBarnesHut accepts when cellSize/distance < Theta.
+	MACBarnesHut
+)
+
+// Config controls a traversal.
+type Config struct {
+	MAC    MACType
+	Theta  float64 // Barnes-Hut opening angle
+	AccTol float64 // absolute acceleration error tolerance (before multiplying by G)
+
+	Kernel softening.Kernel
+	Eps    float64 // softening scale (kernel support, or Plummer eps)
+
+	G float64 // gravitational constant applied to the final accelerations
+
+	// Periodic boundary handling (Section 2.4).
+	Periodic     bool
+	BoxSize      float64
+	WS           int // explicit replica shells (2 in the paper); 0 disables replicas
+	LatticeOrder int // local-expansion order for the far lattice; 0 disables it
+	LatticeShell int // lattice summation extent (defaults inside ewald)
+
+	// MinimumOrder forces every accepted cell interaction to be evaluated at
+	// at least this order (the adaptive-order selection still upgrades when
+	// the estimate requires it).
+	MinimumOrder int
+
+	// GroupSize caps the number of sink particles treated as one block
+	// (m x n blocking); 0 uses the tree leaf size.
+	GroupSize int
+}
+
+func (c *Config) defaults() {
+	if c.Theta == 0 {
+		c.Theta = 0.6
+	}
+	if c.G == 0 {
+		c.G = 1
+	}
+	if c.Kernel == 0 && c.Eps == 0 {
+		c.Kernel = softening.None
+	}
+}
+
+// Counters accumulates interaction statistics for one force computation.
+type Counters struct {
+	P2P         int64                         // particle-particle interactions
+	CellByOrder [multipole.MaxOrder + 1]int64 // cell-body interactions by evaluated order
+	BgCubes     int64                         // analytic near-field background cube interactions
+	SinkCells   int64
+	Sinks       int64
+}
+
+// Add merges other into c.
+func (c *Counters) Add(o Counters) {
+	c.P2P += o.P2P
+	for i := range c.CellByOrder {
+		c.CellByOrder[i] += o.CellByOrder[i]
+	}
+	c.BgCubes += o.BgCubes
+	c.SinkCells += o.SinkCells
+	c.Sinks += o.Sinks
+}
+
+// CellInteractions returns the total number of cell-body interactions.
+func (c *Counters) CellInteractions() int64 {
+	var t int64
+	for _, v := range c.CellByOrder {
+		t += v
+	}
+	return t
+}
+
+// Flops estimates the floating-point work using the per-interaction costs of
+// the paper's accounting (28 flops per monopole, and the Cartesian tensor
+// costs for the higher orders).
+func (c *Counters) Flops() int64 {
+	var f int64
+	f += c.P2P * multipole.FlopsPerMonopole
+	for q, n := range c.CellByOrder {
+		switch {
+		case q == 0:
+			f += n * multipole.FlopsPerMonopole
+		case q <= 2:
+			f += n * multipole.FlopsPerQuadrupole
+		case q <= 4:
+			f += n * multipole.FlopsPerHexadecapole
+		default:
+			f += n * multipole.FlopsPerHexadecapole * int64(q*q) / 16
+		}
+	}
+	f += c.BgCubes * 96
+	return f
+}
+
+// Walker performs traversals over one tree.
+type Walker struct {
+	Tree *tree.Tree
+	Cfg  Config
+
+	lattice *ewald.Lattice
+	local   *multipole.Local
+	offsets []vec.V3
+}
+
+// NewWalker prepares a walker; for periodic configurations it precomputes the
+// replica offsets and the far-lattice local expansion of the whole box.
+func NewWalker(t *tree.Tree, cfg Config) *Walker {
+	cfg.defaults()
+	w := &Walker{Tree: t, Cfg: cfg}
+	if cfg.Periodic {
+		ws := cfg.WS
+		if ws < 1 {
+			ws = 1
+		}
+		w.offsets = append([]vec.V3{{0, 0, 0}}, ewald.ReplicaOffsets(ws, cfg.BoxSize)...)
+		if cfg.LatticeOrder > 0 {
+			order := cfg.LatticeOrder + t.Opt.Order
+			lat := ewald.NewLattice(order, ws, cfg.BoxSize, cfg.LatticeShell)
+			w.lattice = lat
+			w.local = multipole.NewLocal(cfg.LatticeOrder, t.Root().Exp.Center)
+			w.local.AddM2L(t.Root().Exp, lat.T)
+		}
+	} else {
+		w.offsets = []vec.V3{{0, 0, 0}}
+	}
+	return w
+}
+
+// interactionList is the per-sink-cell gathering of work.
+type interactionList struct {
+	cells     []*tree.Cell
+	cellOff   []vec.V3
+	srcPos    []vec.V3
+	srcMass   []float64
+	bgBoxes   []vec.Box
+	bgOffsets []vec.V3
+}
+
+func (il *interactionList) reset() {
+	il.cells = il.cells[:0]
+	il.cellOff = il.cellOff[:0]
+	il.srcPos = il.srcPos[:0]
+	il.srcMass = il.srcMass[:0]
+	il.bgBoxes = il.bgBoxes[:0]
+	il.bgOffsets = il.bgOffsets[:0]
+}
+
+// sinkGroup describes one block of sink particles (normally a leaf cell).
+type sinkGroup struct {
+	center vec.V3
+	radius float64
+	first  int
+	count  int
+}
+
+// ForcesForAll computes the acceleration and kernel sum for every particle in
+// the tree, using nWorkers goroutines over sink leaf cells.  The returned
+// slices are indexed like the tree's (key-sorted) particle arrays.
+func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
+	t := w.Tree
+	n := len(t.Pos)
+	acc := make([]vec.V3, n)
+	pot := make([]float64, n)
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	leaves := t.Leaves()
+	groups := make([]sinkGroup, 0, len(leaves))
+	for _, li := range leaves {
+		c := t.Cell[li]
+		groups = append(groups, sinkGroup{
+			center: c.Center,
+			radius: sinkRadius(t, c),
+			first:  c.First,
+			count:  c.NBodies,
+		})
+	}
+
+	var total Counters
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan int, len(groups))
+	for i := range groups {
+		next <- i
+	}
+	close(next)
+
+	for wk := 0; wk < nWorkers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var il interactionList
+			scratch := make([]float64, multipole.ScratchSize(t.Opt.Order))
+			var local Counters
+			for gi := range next {
+				g := groups[gi]
+				w.forcesForGroup(g, &il, scratch, acc, pot, &local)
+			}
+			mu.Lock()
+			total.Add(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	// Far-lattice local expansion and final scaling by G.
+	for i := range acc {
+		if w.local != nil {
+			res := w.local.Evaluate(t.Pos[i])
+			acc[i] = acc[i].Add(res.Acc)
+			pot[i] += res.Phi
+		}
+		acc[i] = acc[i].Scale(w.Cfg.G)
+		pot[i] *= w.Cfg.G
+	}
+	return acc, pot, total
+}
+
+// sinkRadius is the maximum distance from the cell center to any of its
+// bodies.
+func sinkRadius(t *tree.Tree, c *tree.Cell) float64 {
+	r := 0.0
+	for i := c.First; i < c.First+c.NBodies; i++ {
+		if d := t.Pos[i].Dist(c.Center); d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+// forcesForGroup gathers the interaction list for one sink group and applies
+// it to every sink particle in the group (the m x n blocking: the list
+// construction cost is shared by all sinks of the group).
+func (w *Walker) forcesForGroup(g sinkGroup, il *interactionList, scratch []float64,
+	acc []vec.V3, pot []float64, counters *Counters) {
+	t := w.Tree
+	counters.SinkCells++
+	counters.Sinks += int64(g.count)
+
+	il.reset()
+	for _, off := range w.offsets {
+		w.gather(t.Root(), off, g, il, counters)
+	}
+
+	// Apply the cell interactions, adaptively choosing the evaluation order.
+	for i := g.first; i < g.first+g.count; i++ {
+		x := t.Pos[i]
+		var a vec.V3
+		var p float64
+		for ci, c := range il.cells {
+			xRel := x.Sub(il.cellOff[ci])
+			q := w.chooseOrder(c, xRel.Dist(c.Exp.Center))
+			res := c.Exp.EvaluateTruncated(xRel, q, scratch)
+			a = a.Add(res.Acc)
+			p += res.Phi
+			counters.CellByOrder[q]++
+		}
+		// Direct particle-particle interactions.
+		for j := range il.srcPos {
+			d := il.srcPos[j].Sub(x)
+			r2 := d.Norm2()
+			if r2 == 0 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			ff := softening.ForceFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
+			pf := softening.PotentialFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
+			m := il.srcMass[j]
+			a = a.Add(d.Scale(m * ff))
+			p += m * pf
+		}
+		counters.P2P += int64(len(il.srcPos))
+		// Near-field background removal (analytic cubes of density -rhobar).
+		for bi := range il.bgBoxes {
+			xRel := x.Sub(il.bgOffsets[bi])
+			ba, bp := cube.BackgroundAccel(il.bgBoxes[bi], t.RhoBar(), xRel)
+			a = a.Add(ba)
+			p += bp
+			counters.BgCubes++
+		}
+		acc[i] = acc[i].Add(a)
+		pot[i] += p
+	}
+}
+
+// chooseOrder returns the lowest expansion order whose error estimate meets
+// the tolerance (never below MinimumOrder, never above the stored order).
+func (w *Walker) chooseOrder(c *tree.Cell, d float64) int {
+	p := c.Exp.P
+	if w.Cfg.MAC == MACBarnesHut {
+		return p
+	}
+	for q := w.Cfg.MinimumOrder; q < p; q++ {
+		if c.Exp.AccelErrorEstimate(q, d) <= w.Cfg.AccTol {
+			return q
+		}
+	}
+	return p
+}
+
+// gather walks the (possibly replica-shifted) tree and fills the interaction
+// list for a sink group.  off is added to all source positions; equivalently
+// the sink is evaluated at x-off against the unshifted sources.
+func (w *Walker) gather(c *tree.Cell, off vec.V3, g sinkGroup, il *interactionList, counters *Counters) {
+	t := w.Tree
+	srcCenter := c.Center.Add(off)
+	dCenter := srcCenter.Dist(g.center)
+	d := dCenter - g.radius
+
+	if w.accept(c, d) {
+		il.cells = append(il.cells, c)
+		il.cellOff = append(il.cellOff, off)
+		return
+	}
+
+	if c.Leaf {
+		pos, mass := t.LeafParticles(c)
+		for i := range pos {
+			il.srcPos = append(il.srcPos, pos[i].Add(off))
+			il.srcMass = append(il.srcMass, mass[i])
+		}
+		if t.RhoBar() > 0 {
+			il.bgBoxes = append(il.bgBoxes, c.Box())
+			il.bgOffsets = append(il.bgOffsets, off)
+		}
+		return
+	}
+
+	// Open the cell: recurse into present children and, when background
+	// subtraction is active, account for the empty octants analytically.
+	for oct := 0; oct < 8; oct++ {
+		child := t.Child(c, oct)
+		if child != nil {
+			w.gather(child, off, g, il, counters)
+			continue
+		}
+		if t.RhoBar() > 0 {
+			il.bgBoxes = append(il.bgBoxes, octantBox(c, oct))
+			il.bgOffsets = append(il.bgOffsets, off)
+		}
+	}
+}
+
+// octantBox returns the spatial region of child octant oct of cell c.
+func octantBox(c *tree.Cell, oct int) vec.Box {
+	h := c.Size / 2
+	lo := c.Center.Sub(vec.V3{h, h, h})
+	half := c.Size / 2
+	// Octant bit layout follows the Morton interleave: bit2 = x, bit1 = y,
+	// bit0 = z.
+	if oct&4 != 0 {
+		lo[0] += half
+	}
+	if oct&2 != 0 {
+		lo[1] += half
+	}
+	if oct&1 != 0 {
+		lo[2] += half
+	}
+	return vec.CubeBox(lo, half)
+}
+
+// accept applies the multipole acceptance criterion for a source cell at
+// effective distance d (center distance minus sink radius).
+func (w *Walker) accept(c *tree.Cell, d float64) bool {
+	// Never accept the interaction if the sink may be inside or touching the
+	// source's body distribution.
+	if d <= c.Exp.Bmax || d <= 0 {
+		return false
+	}
+	// A cell with very few bodies is cheaper to open than to expand, unless
+	// it is remote (remote leaves were already shipped with their bodies).
+	if c.Leaf && c.NBodies <= 2 && !c.Remote && w.Tree.RhoBar() == 0 {
+		return false
+	}
+	switch w.Cfg.MAC {
+	case MACBarnesHut:
+		return multipole.BHAccept(c.Size, c.Exp.Bmax, d, w.Cfg.Theta)
+	default:
+		return c.Exp.AccelErrorEstimate(c.Exp.P, d) <= w.Cfg.AccTol
+	}
+}
+
+// ForceAt evaluates the field at an arbitrary position (e.g. a test point or
+// a lightcone sample), without self-exclusion.
+func (w *Walker) ForceAt(x vec.V3) (vec.V3, float64) {
+	t := w.Tree
+	var il interactionList
+	scratch := make([]float64, multipole.ScratchSize(t.Opt.Order))
+	var counters Counters
+	g := sinkGroup{center: x, radius: 0, first: 0, count: 0}
+	for _, off := range w.offsets {
+		w.gather(t.Root(), off, g, &il, &counters)
+	}
+	var a vec.V3
+	var p float64
+	for ci, c := range il.cells {
+		xRel := x.Sub(il.cellOff[ci])
+		q := w.chooseOrder(c, xRel.Dist(c.Exp.Center))
+		res := c.Exp.EvaluateTruncated(xRel, q, scratch)
+		a = a.Add(res.Acc)
+		p += res.Phi
+	}
+	for j := range il.srcPos {
+		d := il.srcPos[j].Sub(x)
+		r2 := d.Norm2()
+		if r2 == 0 {
+			continue
+		}
+		r := math.Sqrt(r2)
+		a = a.Add(d.Scale(il.srcMass[j] * softening.ForceFactor(w.Cfg.Kernel, r, w.Cfg.Eps)))
+		p += il.srcMass[j] * softening.PotentialFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
+	}
+	for bi := range il.bgBoxes {
+		xRel := x.Sub(il.bgOffsets[bi])
+		ba, bp := cube.BackgroundAccel(il.bgBoxes[bi], t.RhoBar(), xRel)
+		a = a.Add(ba)
+		p += bp
+	}
+	if w.local != nil {
+		res := w.local.Evaluate(x)
+		a = a.Add(res.Acc)
+		p += res.Phi
+	}
+	return a.Scale(w.Cfg.G), p * w.Cfg.G
+}

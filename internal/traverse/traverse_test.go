@@ -1,0 +1,125 @@
+package traverse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twohot/internal/softening"
+	"twohot/internal/tree"
+	"twohot/internal/vec"
+)
+
+func buildTestTree(t *testing.T, n int, opt tree.Options) *tree.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
+		mass[i] = 1.0 / float64(n)
+	}
+	box := vec.CubeBox(vec.V3{}, 1)
+	tr, err := tree.Build(pos, mass, box, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func directAccel(tr *tree.Tree, i int, kernel softening.Kernel, eps float64) vec.V3 {
+	var a vec.V3
+	for j := range tr.Pos {
+		if j == i {
+			continue
+		}
+		d := tr.Pos[j].Sub(tr.Pos[i])
+		r := d.Norm()
+		a = a.Add(d.Scale(tr.Mass[j] * softening.ForceFactor(kernel, r, eps)))
+	}
+	return a
+}
+
+func TestWalkerAccuracyScalesWithTolerance(t *testing.T) {
+	tr := buildTestTree(t, 1500, tree.Options{Order: 4, LeafSize: 8})
+	prev := 0.0
+	for _, tol := range []float64{1e-2, 1e-4, 1e-6} {
+		w := NewWalker(tr, Config{MAC: MACAbsoluteError, AccTol: tol, Kernel: softening.Plummer, Eps: 0.01})
+		acc, _, counters := w.ForcesForAll(2)
+		// Measure the error on a sample of particles.
+		rms := 0.0
+		refRMS := 0.0
+		for s := 0; s < 50; s++ {
+			i := s * len(acc) / 50
+			ref := directAccel(tr, i, softening.Plummer, 0.01)
+			rms += acc[i].Sub(ref).Norm2()
+			refRMS += ref.Norm2()
+		}
+		err := math.Sqrt(rms / refRMS)
+		if prev != 0 && err > prev*2 {
+			t.Errorf("error did not improve when tightening tolerance: %g -> %g", prev, err)
+		}
+		if counters.CellInteractions() == 0 || counters.P2P == 0 {
+			t.Error("no interactions counted")
+		}
+		prev = err
+	}
+	if prev > 1e-4 {
+		t.Errorf("error at the tightest tolerance is %g", prev)
+	}
+}
+
+func TestCountersAndFlops(t *testing.T) {
+	tr := buildTestTree(t, 800, tree.Options{Order: 4, LeafSize: 8})
+	w := NewWalker(tr, Config{MAC: MACAbsoluteError, AccTol: 1e-4, Kernel: softening.Plummer, Eps: 0.01})
+	_, _, c := w.ForcesForAll(1)
+	if c.Sinks != int64(len(tr.Pos)) {
+		t.Errorf("sink count %d, want %d", c.Sinks, len(tr.Pos))
+	}
+	if c.Flops() <= 0 {
+		t.Error("flop accounting is zero")
+	}
+	var sum Counters
+	sum.Add(c)
+	sum.Add(c)
+	if sum.P2P != 2*c.P2P || sum.CellInteractions() != 2*c.CellInteractions() {
+		t.Error("Counters.Add broken")
+	}
+}
+
+func TestBarnesHutMACMatchesAbsolute(t *testing.T) {
+	tr := buildTestTree(t, 1000, tree.Options{Order: 2, LeafSize: 8})
+	bh := NewWalker(tr, Config{MAC: MACBarnesHut, Theta: 0.4, Kernel: softening.Plummer, Eps: 0.01})
+	accBH, _, _ := bh.ForcesForAll(1)
+	abs := NewWalker(tr, Config{MAC: MACAbsoluteError, AccTol: 1e-6, Kernel: softening.Plummer, Eps: 0.01})
+	accAbs, _, _ := abs.ForcesForAll(1)
+	rms, ref := 0.0, 0.0
+	for i := range accBH {
+		rms += accBH[i].Sub(accAbs[i]).Norm2()
+		ref += accAbs[i].Norm2()
+	}
+	if math.Sqrt(rms/ref) > 5e-3 {
+		t.Errorf("BH theta=0.4 differs from tight absolute-error forces by %g rms", math.Sqrt(rms/ref))
+	}
+}
+
+func TestForceAtMatchesDirectSum(t *testing.T) {
+	tr := buildTestTree(t, 600, tree.Options{Order: 4, LeafSize: 8})
+	w := NewWalker(tr, Config{MAC: MACAbsoluteError, AccTol: 1e-7, Kernel: softening.None})
+	x := vec.V3{1.7, 1.4, 1.9}
+	a, phi := w.ForceAt(x)
+	var ref vec.V3
+	var refPhi float64
+	for i := range tr.Pos {
+		d := tr.Pos[i].Sub(x)
+		r := d.Norm()
+		ref = ref.Add(d.Scale(tr.Mass[i] / (r * r * r)))
+		refPhi += tr.Mass[i] / r
+	}
+	if a.Sub(ref).Norm()/ref.Norm() > 1e-5 {
+		t.Errorf("ForceAt %v vs direct %v", a, ref)
+	}
+	if math.Abs(phi-refPhi)/refPhi > 1e-5 {
+		t.Errorf("potential %g vs direct %g", phi, refPhi)
+	}
+}

@@ -1,0 +1,257 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"twohot/internal/keys"
+	"twohot/internal/multipole"
+	"twohot/internal/vec"
+)
+
+// This file implements the distributed tree construction of Section 3.2:
+// each rank owns a contiguous key range of particles, builds subtrees under
+// its "branch" cells (the coarsest cells entirely inside its key range),
+// exchanges branch cells with the other ranks, and assembles the shared
+// upper-level cells whose moments combine contributions from every rank.
+// Cells received from other ranks are Remote: when a traversal needs their
+// children, Tree.FetchChildren ships them over the ABM layer.
+
+// BranchKeys returns the minimal set of cell keys whose body-key ranges are
+// entirely contained in [lo, hi) and which together cover it.  These are the
+// branch cells of a rank owning the key range [lo, hi).
+func BranchKeys(lo, hi uint64) []keys.Key {
+	var out []keys.Key
+	var walk func(k keys.Key)
+	walk = func(k keys.Key) {
+		klo, khi := k.BodyRange() // closed range of body keys under k
+		if uint64(khi) < lo || uint64(klo) >= hi {
+			return
+		}
+		if uint64(klo) >= lo && (uint64(khi) < hi || hi == ^uint64(0)) {
+			out = append(out, k)
+			return
+		}
+		if k.Level() >= keys.MaxDepth {
+			// A single deepest-level cell straddling the range boundary is
+			// assigned to the range that contains its first body key.
+			if uint64(klo) >= lo && uint64(klo) < hi {
+				out = append(out, k)
+			}
+			return
+		}
+		for oct := 0; oct < 8; oct++ {
+			walk(k.Child(oct))
+		}
+	}
+	walk(keys.RootKey)
+	return out
+}
+
+// Distributed wraps a Tree with the bookkeeping of the distributed build:
+// the particles of one rank organized into subtrees under that rank's branch
+// cells, plus (after the branch exchange) the remote branch cells of every
+// other rank and the shared upper tree above them.
+type Distributed struct {
+	*Tree
+	KeyLo, KeyHi uint64
+	BranchCells  []keys.Key // this rank's branch cell keys (with particles)
+}
+
+// NewDistributed builds the rank-local subtrees.  pos/mass are the rank's
+// particles; they are sorted by key in place.  keyLo/keyHi delimit the rank's
+// key range.  Call AddRemoteCell for every branch cell received from the
+// other ranks and then BuildUpper to assemble the shared upper tree.
+func NewDistributed(pos []vec.V3, mass []float64, box vec.Box, opt Options, keyLo, keyHi uint64) (*Distributed, error) {
+	opt.defaults()
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("tree: rank owns no particles")
+	}
+	t := &Tree{
+		Opt:  opt,
+		Box:  box,
+		Hash: NewHashTable(2*len(pos) + 1024),
+		Pos:  pos,
+		Mass: mass,
+	}
+	ks := make([]uint64, len(pos))
+	for i, p := range pos {
+		ks[i] = uint64(keys.FromPosition(p, box, keys.Morton))
+	}
+	idx := make([]int, len(pos))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
+	newPos := make([]vec.V3, len(pos))
+	newMass := make([]float64, len(pos))
+	newKeys := make([]uint64, len(pos))
+	for i, j := range idx {
+		newPos[i] = pos[j]
+		newMass[i] = mass[j]
+		newKeys[i] = ks[j]
+	}
+	copy(pos, newPos)
+	copy(mass, newMass)
+	t.Keys = newKeys
+	t.SortIndex = idx
+	if opt.RhoBar > 0 {
+		t.buildBackgroundMoments()
+	}
+
+	d := &Distributed{Tree: t, KeyLo: keyLo, KeyHi: keyHi}
+	for _, bk := range BranchKeys(keyLo, keyHi) {
+		lo, hi := bk.BodyRange()
+		first := sort.Search(len(newKeys), func(i int) bool { return newKeys[i] >= uint64(lo) })
+		last := sort.Search(len(newKeys), func(i int) bool { return newKeys[i] > uint64(hi) })
+		if last <= first {
+			continue
+		}
+		idx := t.buildCell(bk, first, last-first)
+		if bk == keys.RootKey {
+			t.RootIdx = idx
+		}
+		d.BranchCells = append(d.BranchCells, bk)
+	}
+	if len(d.BranchCells) == 0 {
+		return nil, fmt.Errorf("tree: no branch cells contain particles")
+	}
+	return d, nil
+}
+
+// LocalBranches returns the rank's branch cells.
+func (d *Distributed) LocalBranches() []*Cell {
+	out := make([]*Cell, 0, len(d.BranchCells))
+	for _, k := range d.BranchCells {
+		c, ok := d.CellByKey(k)
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AddRemoteCell inserts a cell received from another rank (branch exchange or
+// prefetch).  Existing cells are not overwritten.
+func (d *Distributed) AddRemoteCell(c Cell) {
+	if _, ok := d.Hash.Get(c.Key); ok {
+		return
+	}
+	cc := c
+	for i := range cc.ChildIdx {
+		cc.ChildIdx[i] = NoChild
+	}
+	idx := int32(len(d.Cell))
+	d.Cell = append(d.Cell, &cc)
+	d.Hash.Put(cc.Key, idx)
+}
+
+// BuildUpper creates the shared upper-level cells above the branch cells
+// (local and remote) and computes their moments by shifting the branch
+// moments upward (M2M).  It must be called after all branch cells have been
+// inserted.  Upper cells are owned by no rank and never require fetching.
+func (d *Distributed) BuildUpper() {
+	// Gather all cells that currently have no parent in the table, deepest
+	// first.
+	for {
+		// Find the deepest level that still has an orphan non-root cell.
+		orphans := map[keys.Key][]int32{}
+		deepest := -1
+		for i, c := range d.Cell {
+			if c.Key == keys.RootKey {
+				continue
+			}
+			parent := c.Key.Parent()
+			if _, ok := d.Hash.Get(parent); ok {
+				// Parent exists: make sure the link is recorded.
+				pidx, _ := d.Hash.Get(parent)
+				p := d.Cell[pidx]
+				oct := c.Key.Octant()
+				if p.ChildIdx[oct] == NoChild {
+					p.ChildIdx[oct] = int32(i)
+					p.ChildMask |= 1 << uint(oct)
+				}
+				continue
+			}
+			if c.Level > deepest {
+				deepest = c.Level
+			}
+			orphans[parent] = append(orphans[parent], int32(i))
+		}
+		if len(orphans) == 0 {
+			break
+		}
+		created := false
+		for parent, children := range orphans {
+			// Only create parents for the deepest orphans this round so that
+			// moments propagate level by level.
+			if children[0] >= 0 && d.Cell[children[0]].Level != deepest {
+				continue
+			}
+			d.createUpperCell(parent, children)
+			created = true
+		}
+		if !created {
+			// All remaining orphans are shallower; loop again with the new
+			// deepest level.
+			continue
+		}
+	}
+}
+
+func (d *Distributed) createUpperCell(key keys.Key, children []int32) {
+	box := key.CellBox(d.Box)
+	c := Cell{
+		Key:    key,
+		Center: box.Center(),
+		Size:   box.MaxSide(),
+		Level:  key.Level(),
+		Owner:  -1,
+	}
+	for i := range c.ChildIdx {
+		c.ChildIdx[i] = NoChild
+	}
+	e := multipole.NewExpansion(d.Opt.Order, c.Center)
+	n := 0
+	for _, ci := range children {
+		child := d.Cell[ci]
+		oct := child.Key.Octant()
+		c.ChildIdx[oct] = ci
+		c.ChildMask |= 1 << uint(oct)
+		raw := child.Exp
+		if d.bgByLevel != nil {
+			raw = cloneMinusBackground(child.Exp, d.bgByLevel[child.Level])
+		}
+		shift := multipole.NewExpansion(d.Opt.Order, c.Center)
+		shift.AddShifted(raw)
+		e.AddExpansion(shift)
+		n += child.NBodies
+	}
+	c.NBodies = n
+	d.addBackground(e, &c)
+	e.FinalizeNorms()
+	c.Exp = e
+	idx := int32(len(d.Cell))
+	d.Cell = append(d.Cell, &c)
+	d.Hash.Put(key, idx)
+	if key == keys.RootKey {
+		d.RootIdx = idx
+	}
+}
+
+// ChildrenOf returns the (local) children of the cell with the given key, for
+// answering ABM requests from other ranks.
+func (t *Tree) ChildrenOf(key keys.Key) []*Cell {
+	idx, ok := t.Hash.Get(key)
+	if !ok {
+		return nil
+	}
+	c := t.Cell[idx]
+	var out []*Cell
+	for oct := 0; oct < 8; oct++ {
+		if c.ChildIdx[oct] != NoChild {
+			out = append(out, t.Cell[c.ChildIdx[oct]])
+		}
+	}
+	return out
+}

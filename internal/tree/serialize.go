@@ -1,0 +1,142 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"twohot/internal/keys"
+	"twohot/internal/multipole"
+	"twohot/internal/vec"
+)
+
+// EncodeCell serializes a cell (including its expansion and, for leaves, its
+// particle payload) for shipment to another rank, either during the branch
+// exchange of the shared upper tree or in reply to an ABM child request.
+func (t *Tree) EncodeCell(c *Cell) []byte {
+	buf := &bytes.Buffer{}
+	w := func(v any) { binary.Write(buf, binary.LittleEndian, v) }
+	w(uint64(c.Key))
+	w(c.Center)
+	w(c.Size)
+	w(int64(c.Level))
+	w(int64(c.NBodies))
+	var leaf uint8
+	if c.Leaf {
+		leaf = 1
+	}
+	w(leaf)
+	w(c.ChildMask)
+	w(int32(c.Owner))
+	// Expansion.
+	e := c.Exp
+	w(int32(e.P))
+	w(e.M)
+	w(e.B)
+	w(e.Bmax)
+	w(e.Mass)
+	w(e.Norms)
+	// Leaf payload.
+	if c.Leaf {
+		pos, mass := t.LeafParticles(c)
+		w(int64(len(pos)))
+		w(pos)
+		w(mass)
+	}
+	return buf.Bytes()
+}
+
+// DecodeCell reconstructs a cell serialized by EncodeCell.  The cell is
+// marked Remote so its children are fetched on demand.
+func DecodeCell(data []byte) (Cell, error) {
+	r := bytes.NewReader(data)
+	var c Cell
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var key uint64
+	if err := rd(&key); err != nil {
+		return c, fmt.Errorf("tree: decode cell: %w", err)
+	}
+	c.Key = keys.Key(key)
+	var level, nbodies int64
+	var leaf uint8
+	var owner, p int32
+	if err := firstErr(
+		rd(&c.Center), rd(&c.Size), rd(&level), rd(&nbodies),
+		rd(&leaf), rd(&c.ChildMask), rd(&owner), rd(&p),
+	); err != nil {
+		return c, fmt.Errorf("tree: decode cell: %w", err)
+	}
+	c.Level = int(level)
+	c.NBodies = int(nbodies)
+	c.Leaf = leaf == 1
+	c.Owner = int(owner)
+	c.Remote = true
+	e := multipole.NewExpansion(int(p), c.Center)
+	e.Norms = make([]float64, int(p)+1)
+	if err := firstErr(rd(e.M), rd(e.B), rd(&e.Bmax), rd(&e.Mass), rd(e.Norms)); err != nil {
+		return c, fmt.Errorf("tree: decode expansion: %w", err)
+	}
+	c.Exp = e
+	for i := range c.ChildIdx {
+		c.ChildIdx[i] = NoChild
+	}
+	if c.Leaf {
+		var n int64
+		if err := rd(&n); err != nil {
+			return c, fmt.Errorf("tree: decode leaf payload: %w", err)
+		}
+		c.RemotePos = make([]vec.V3, n)
+		c.RemoteMass = make([]float64, n)
+		if err := firstErr(rd(c.RemotePos), rd(c.RemoteMass)); err != nil {
+			return c, fmt.Errorf("tree: decode leaf payload: %w", err)
+		}
+	}
+	return c, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// EncodeCells concatenates length-prefixed encodings of several cells.
+func (t *Tree) EncodeCells(cells []*Cell) []byte {
+	buf := &bytes.Buffer{}
+	binary.Write(buf, binary.LittleEndian, int64(len(cells)))
+	for _, c := range cells {
+		b := t.EncodeCell(c)
+		binary.Write(buf, binary.LittleEndian, int64(len(b)))
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+// DecodeCells reverses EncodeCells.
+func DecodeCells(data []byte) ([]Cell, error) {
+	r := bytes.NewReader(data)
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	out := make([]Cell, 0, n)
+	for i := int64(0); i < n; i++ {
+		var sz int64
+		if err := binary.Read(r, binary.LittleEndian, &sz); err != nil {
+			return nil, err
+		}
+		b := make([]byte, sz)
+		if _, err := r.Read(b); err != nil {
+			return nil, err
+		}
+		c, err := DecodeCell(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

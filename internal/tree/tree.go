@@ -1,0 +1,382 @@
+// Package tree implements the hashed oct-tree (HOT) data structure: cells
+// named by space-filling-curve keys, stored in an open-addressing hash table,
+// built from key-sorted particle arrays, carrying Cartesian multipole moments
+// about their geometric centers (so that the uniform-background moments of
+// 2HOT's background subtraction can be folded in), and supporting remote
+// cells whose children are fetched on demand from the owning rank during a
+// distributed traversal.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"twohot/internal/cube"
+	"twohot/internal/keys"
+	"twohot/internal/multipole"
+	"twohot/internal/vec"
+)
+
+// NoChild marks an absent child slot.
+const NoChild int32 = -1
+
+// Cell is one node ("hcell") of the hashed oct-tree.
+type Cell struct {
+	Key    keys.Key
+	Center vec.V3  // geometric center of the cell cube
+	Size   float64 // cube side length
+	Level  int
+
+	NBodies int
+	First   int // index of the first particle of this cell in the tree's sorted particle arrays (local cells only)
+	Leaf    bool
+
+	ChildMask uint8 // octants that contain bodies (known even for remote cells)
+	ChildIdx  [8]int32
+
+	Owner  int  // owning rank in a distributed tree (== tree.Rank for local cells)
+	Remote bool // true if this cell's children live on another rank and must be fetched
+
+	Exp *multipole.Expansion // delta moments (particles minus uniform background when background subtraction is on)
+
+	// Remote leaf payload: particle data shipped along with a fetched leaf.
+	RemotePos  []vec.V3
+	RemoteMass []float64
+}
+
+// Box returns the spatial extent of the cell.
+func (c *Cell) Box() vec.Box {
+	h := c.Size / 2
+	return vec.Box{Lo: c.Center.Sub(vec.V3{h, h, h}), Hi: c.Center.Add(vec.V3{h, h, h})}
+}
+
+// Options configures tree construction.
+type Options struct {
+	Order    int // multipole expansion order p
+	LeafSize int // maximum bodies per leaf cell
+	// RhoBar, when positive, enables background subtraction: the moments of
+	// a uniform cube of density -RhoBar are added to every cell so that far
+	// interactions act on the density contrast (Section 2.2.1).
+	RhoBar float64
+	Rank   int // owning rank id (0 for shared-memory trees)
+}
+
+func (o *Options) defaults() {
+	if o.Order == 0 {
+		o.Order = 4
+	}
+	if o.LeafSize == 0 {
+		o.LeafSize = 16
+	}
+}
+
+// Tree is a hashed oct-tree over a key-sorted particle array.
+type Tree struct {
+	Opt  Options
+	Box  vec.Box // root cube
+	Hash *HashTable
+	Cell []*Cell
+
+	// Particle arrays sorted by key (referenced by First/NBodies of local
+	// cells).
+	Pos  []vec.V3
+	Mass []float64
+	Keys []uint64
+	// SortIndex maps sorted particle slot -> index in the caller's original
+	// ordering, so solvers can scatter results back.
+	SortIndex []int
+
+	// Background moments per level (index = level), present when RhoBar>0.
+	bgByLevel []*multipole.Expansion
+
+	// FetchChildren, if set, is called when a traversal needs the children
+	// of a remote cell; it must return the child cells (fully populated,
+	// including moments and leaf payloads) which are then cached in the
+	// hash table.  Used by the distributed solver via ABM.
+	FetchChildren func(c *Cell) []Cell // returned cells are copied into the tree
+
+	RootIdx int32
+}
+
+// Build constructs a tree for the given particles.  The particle arrays are
+// reordered in place into key order; the tree retains references to them.
+// box must be the cubical root volume containing all positions.
+func Build(pos []vec.V3, mass []float64, box vec.Box, opt Options) (*Tree, error) {
+	opt.defaults()
+	if len(pos) != len(mass) {
+		return nil, fmt.Errorf("tree: position and mass lengths differ")
+	}
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("tree: cannot build a tree with no particles")
+	}
+	t := &Tree{
+		Opt:  opt,
+		Box:  box,
+		Hash: NewHashTable(2 * len(pos)),
+		Pos:  pos,
+		Mass: mass,
+	}
+	// Sort particles by Morton key.
+	ks := make([]uint64, len(pos))
+	for i, p := range pos {
+		ks[i] = uint64(keys.FromPosition(p, box, keys.Morton))
+	}
+	idx := make([]int, len(pos))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
+	newPos := make([]vec.V3, len(pos))
+	newMass := make([]float64, len(pos))
+	newKeys := make([]uint64, len(pos))
+	for i, j := range idx {
+		newPos[i] = pos[j]
+		newMass[i] = mass[j]
+		newKeys[i] = ks[j]
+	}
+	copy(pos, newPos)
+	copy(mass, newMass)
+	t.Keys = newKeys
+	t.SortIndex = idx
+
+	if opt.RhoBar > 0 {
+		t.buildBackgroundMoments()
+	}
+
+	t.RootIdx = t.buildCell(keys.RootKey, 0, len(pos))
+	return t, nil
+}
+
+// buildBackgroundMoments caches, per level, the multipole moments of a
+// uniform cube of density -RhoBar with the cell size of that level.
+func (t *Tree) buildBackgroundMoments() {
+	t.bgByLevel = make([]*multipole.Expansion, keys.MaxDepth+1)
+	rootSide := t.Box.MaxSide()
+	for l := 0; l <= keys.MaxDepth; l++ {
+		side := rootSide / float64(uint64(1)<<uint(l))
+		t.bgByLevel[l] = cube.BackgroundMoments(t.Opt.Order, side, t.Opt.RhoBar)
+	}
+}
+
+// BackgroundMomentsForLevel exposes the cached background moments (nil when
+// background subtraction is off).
+func (t *Tree) BackgroundMomentsForLevel(level int) *multipole.Expansion {
+	if t.bgByLevel == nil || level < 0 || level >= len(t.bgByLevel) {
+		return nil
+	}
+	return t.bgByLevel[level]
+}
+
+// RhoBar returns the background density (0 when subtraction is off).
+func (t *Tree) RhoBar() float64 { return t.Opt.RhoBar }
+
+// buildCell recursively constructs the cell covering the given particle range
+// and returns its index.
+func (t *Tree) buildCell(key keys.Key, first, count int) int32 {
+	level := key.Level()
+	box := key.CellBox(t.Box)
+	c := Cell{
+		Key:     key,
+		Center:  box.Center(),
+		Size:    box.MaxSide(),
+		Level:   level,
+		NBodies: count,
+		First:   first,
+		Owner:   t.Opt.Rank,
+	}
+	for i := range c.ChildIdx {
+		c.ChildIdx[i] = NoChild
+	}
+	idx := int32(len(t.Cell))
+	t.Cell = append(t.Cell, &c)
+	t.Hash.Put(key, idx)
+
+	if count <= t.Opt.LeafSize || level >= keys.MaxDepth {
+		t.Cell[idx].Leaf = true
+		t.computeLeafMoments(idx)
+		return idx
+	}
+
+	// Partition the key-sorted range among the eight children.
+	lo := first
+	for oct := 0; oct < 8; oct++ {
+		childKey := key.Child(oct)
+		_, hiKey := childKey.BodyRange()
+		hi := lo + sort.Search(first+count-lo, func(i int) bool { return t.Keys[lo+i] > uint64(hiKey) })
+		if hi > lo {
+			ci := t.buildCell(childKey, lo, hi-lo)
+			t.Cell[idx].ChildIdx[oct] = ci
+			t.Cell[idx].ChildMask |= 1 << uint(oct)
+		}
+		lo = hi
+	}
+	t.computeInternalMoments(idx)
+	return idx
+}
+
+func (t *Tree) computeLeafMoments(idx int32) {
+	c := t.Cell[idx]
+	e := multipole.NewExpansion(t.Opt.Order, c.Center)
+	for i := c.First; i < c.First+c.NBodies; i++ {
+		e.AddParticle(t.Pos[i], t.Mass[i])
+	}
+	t.addBackground(e, c)
+	e.FinalizeNorms()
+	c.Exp = e
+}
+
+func (t *Tree) computeInternalMoments(idx int32) {
+	c := t.Cell[idx]
+	e := multipole.NewExpansion(t.Opt.Order, c.Center)
+	for oct := 0; oct < 8; oct++ {
+		ci := c.ChildIdx[oct]
+		if ci == NoChild {
+			continue
+		}
+		child := t.Cell[ci]
+		// The children carry delta moments (background already added); to
+		// avoid double counting, shift the raw particle moments instead:
+		// rebuild the parent from the children's delta moments minus their
+		// background, then add the parent's own background.  Equivalent and
+		// cheaper: shift child moments and subtract the shifted child
+		// backgrounds, but since the background of the parent equals the
+		// sum of the backgrounds of all 8 octants (empty ones included),
+		// the clean formulation is: parent_delta = sum(shifted child raw)
+		// + parent background.  We therefore keep raw moments during the
+		// upward pass and add backgrounds in a final pass -- implemented by
+		// subtracting the child's background before shifting.
+		raw := child.Exp
+		if t.bgByLevel != nil {
+			raw = cloneMinusBackground(child.Exp, t.bgByLevel[child.Level])
+		}
+		shift := multipole.NewExpansion(t.Opt.Order, c.Center)
+		shift.AddShifted(raw)
+		e.AddExpansion(shift)
+	}
+	t.addBackground(e, c)
+	// Tighten bmax: it can never exceed the distance from the center to the
+	// cell corner (all bodies lie inside the cell).
+	half := c.Size / 2
+	corner := math.Sqrt(3) * half
+	if e.Bmax > corner {
+		e.Bmax = corner
+	}
+	e.FinalizeNorms()
+	c.Exp = e
+}
+
+func cloneMinusBackground(e, bg *multipole.Expansion) *multipole.Expansion {
+	out := multipole.NewExpansion(e.P, e.Center)
+	out.AddExpansion(e)
+	for i := range out.M {
+		out.M[i] -= bg.M[i]
+	}
+	// Absolute moments of the raw particles: remove the background's
+	// contribution (they were added in addBackground).
+	for n := range out.B {
+		out.B[n] -= bg.B[n]
+		if out.B[n] < 0 {
+			out.B[n] = 0
+		}
+	}
+	out.Mass -= bg.Mass
+	return out
+}
+
+func (t *Tree) addBackground(e *multipole.Expansion, c *Cell) {
+	if t.bgByLevel == nil {
+		return
+	}
+	e.AddExpansion(t.bgByLevel[c.Level])
+}
+
+// Root returns the root cell.
+func (t *Tree) Root() *Cell { return t.Cell[t.RootIdx] }
+
+// CellByKey returns the cell with the given key, if present.
+func (t *Tree) CellByKey(k keys.Key) (*Cell, bool) {
+	idx, ok := t.Hash.Get(k)
+	if !ok {
+		return nil, false
+	}
+	return t.Cell[idx], true
+}
+
+// Child returns child oct of cell c, fetching remote children on demand.
+// It returns nil if the octant is empty.  Fetching mutates the tree, so a
+// tree with remote cells must only be traversed by its owning rank's
+// goroutine.
+func (t *Tree) Child(c *Cell, oct int) *Cell {
+	if c.ChildMask&(1<<uint(oct)) == 0 {
+		return nil
+	}
+	if c.ChildIdx[oct] != NoChild {
+		return t.Cell[c.ChildIdx[oct]]
+	}
+	// Remote cell: fetch all children at once and cache them.
+	if t.FetchChildren == nil {
+		panic(fmt.Sprintf("tree: cell %x has unresolved children and no fetcher", uint64(c.Key)))
+	}
+	children := t.FetchChildren(c)
+	for i := range children {
+		child := children[i]
+		octant := child.Key.Octant()
+		idx := int32(len(t.Cell))
+		for j := range child.ChildIdx {
+			child.ChildIdx[j] = NoChild
+		}
+		t.Cell = append(t.Cell, &child)
+		t.Hash.Put(child.Key, idx)
+		c.ChildIdx[octant] = idx
+	}
+	if c.ChildIdx[oct] == NoChild {
+		return nil
+	}
+	return t.Cell[c.ChildIdx[oct]]
+}
+
+// LeafParticles returns the positions and masses of the bodies in a leaf
+// cell, whether local or fetched from a remote rank.
+func (t *Tree) LeafParticles(c *Cell) ([]vec.V3, []float64) {
+	if c.RemotePos != nil {
+		return c.RemotePos, c.RemoteMass
+	}
+	return t.Pos[c.First : c.First+c.NBodies], t.Mass[c.First : c.First+c.NBodies]
+}
+
+// Leaves returns the indices of all local leaf cells.
+func (t *Tree) Leaves() []int32 {
+	var out []int32
+	for i := range t.Cell {
+		if t.Cell[i].Leaf && !t.Cell[i].Remote {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// NumCells returns the number of cells currently held (including fetched
+// remote cells).
+func (t *Tree) NumCells() int { return len(t.Cell) }
+
+// TotalMass returns the total particle mass under the root (excluding any
+// background-subtraction contribution).
+func (t *Tree) TotalMass() float64 {
+	m := 0.0
+	for _, mm := range t.Mass {
+		m += mm
+	}
+	return m
+}
+
+// Depth returns the maximum cell level present.
+func (t *Tree) Depth() int {
+	d := 0
+	for i := range t.Cell {
+		if t.Cell[i].Level > d {
+			d = t.Cell[i].Level
+		}
+	}
+	return d
+}

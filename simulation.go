@@ -1,0 +1,389 @@
+package twohot
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"twohot/internal/core"
+	"twohot/internal/cosmo"
+	"twohot/internal/grid"
+	"twohot/internal/halo"
+	"twohot/internal/ic"
+	"twohot/internal/massfunc"
+	"twohot/internal/particle"
+	"twohot/internal/pm"
+	"twohot/internal/sdf"
+	"twohot/internal/transfer"
+	"twohot/internal/vec"
+)
+
+// Simulation is a running cosmological N-body simulation.
+type Simulation struct {
+	Cfg  Config
+	Par  cosmo.Params
+	Spec *transfer.Spectrum
+
+	P *particle.Set
+
+	// A is the scale factor of the positions; AMom is the scale factor of
+	// the canonical momenta (half a step behind once the leapfrog is
+	// primed), which is exactly the offset a checkpoint must preserve for
+	// the restart to stay second-order accurate (Section 2.3).
+	A    float64
+	AMom float64
+
+	StepCount int
+
+	// Diagnostics of the last force computation.
+	LastForce *core.Result
+
+	treeSolver *core.TreeSolver
+	pmSolver   *pm.Solver
+}
+
+// New validates the configuration and prepares a simulation (without
+// generating particles yet).
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	par, err := cosmo.ByName(cfg.Cosmology)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Sigma8 > 0 {
+		par.Sigma8 = cfg.Sigma8
+	}
+	s := &Simulation{
+		Cfg:  cfg,
+		Par:  par,
+		Spec: transfer.NewSpectrum(par, transfer.EisensteinHu),
+	}
+	s.buildSolvers()
+	return s, nil
+}
+
+func (s *Simulation) buildSolvers() {
+	cfg := s.Cfg
+	s.treeSolver = core.NewTreeSolver(core.TreeConfig{
+		Order:                 cfg.Order,
+		ErrTol:                cfg.ErrTol,
+		MAC:                   cfg.macType(),
+		Theta:                 cfg.Theta,
+		Kernel:                cfg.kernel(),
+		Eps:                   cfg.SofteningLength(),
+		G:                     cosmo.G,
+		Periodic:              true,
+		BoxSize:               cfg.BoxSize,
+		BackgroundSubtraction: cfg.BackgroundSubtraction,
+		WS:                    cfg.WS,
+		LatticeOrder:          cfg.LatticeOrder,
+		Workers:               cfg.Workers,
+	})
+	mesh := cfg.PMGrid
+	if mesh == 0 {
+		mesh = 2 * cfg.NGrid
+	}
+	asmth := cfg.Asmth
+	if cfg.Solver == SolverPM {
+		asmth = 0
+	} else if asmth == 0 {
+		asmth = 1.25
+	}
+	s.pmSolver = pm.NewSolver(pm.Options{
+		Mesh:          mesh,
+		BoxSize:       cfg.BoxSize,
+		DeconvolveCIC: true,
+		Asmth:         asmth,
+		Eps:           cfg.SofteningLength(),
+	})
+}
+
+// NumParticles returns the current particle count.
+func (s *Simulation) NumParticles() int {
+	if s.P == nil {
+		return 0
+	}
+	return s.P.Len()
+}
+
+// Redshift returns the current redshift of the positions.
+func (s *Simulation) Redshift() float64 { return 1/s.A - 1 }
+
+// GenerateICs creates the initial particle load from the linear power
+// spectrum at z_init.
+func (s *Simulation) GenerateICs() error {
+	cfg := s.Cfg
+	parts, err := ic.Generate(s.Par, s.Spec, ic.Options{
+		NGrid:   cfg.NGrid,
+		BoxSize: cfg.BoxSize,
+		ZInit:   cfg.ZInit,
+		Seed:    cfg.Seed,
+		Use2LPT: cfg.Use2LPT,
+		UseDEC:  cfg.UseDEC,
+		Sphere:  cfg.SphereMode,
+	})
+	if err != nil {
+		return err
+	}
+	set := particle.New(parts.N())
+	for i := 0; i < parts.N(); i++ {
+		set.Append(parts.Pos[i], parts.Mom[i], parts.Mass, int64(i))
+	}
+	s.P = set
+	s.A = parts.A
+	s.AMom = parts.A
+	s.StepCount = 0
+	return nil
+}
+
+// SetParticles installs an externally prepared particle set at scale factor a
+// with synchronized momenta.
+func (s *Simulation) SetParticles(set *particle.Set, a float64) {
+	s.P = set
+	s.A = a
+	s.AMom = a
+	s.StepCount = 0
+}
+
+// Accelerations computes comoving accelerations for the current particle
+// positions with the configured solver.
+func (s *Simulation) Accelerations() ([]vec.V3, error) {
+	if s.P == nil {
+		return nil, fmt.Errorf("twohot: no particles loaded")
+	}
+	switch s.Cfg.Solver {
+	case SolverPM, SolverTreePM:
+		acc := make([]vec.V3, s.P.Len())
+		s.pmSolver.Accelerations(s.P.Pos, s.P.Mass[0], acc)
+		s.LastForce = &core.Result{Acc: acc}
+		return acc, nil
+	case SolverDirect:
+		d := &core.DirectSolver{Kernel: s.Cfg.kernel(), Eps: s.Cfg.SofteningLength(), G: cosmo.G,
+			Periodic: true, BoxSize: s.Cfg.BoxSize}
+		res, err := d.Forces(s.P.Pos, s.P.Mass)
+		if err != nil {
+			return nil, err
+		}
+		s.LastForce = res
+		return res.Acc, nil
+	default:
+		res, err := s.treeSolver.Forces(s.P.Pos, s.P.Mass)
+		if err != nil {
+			return nil, err
+		}
+		s.LastForce = res
+		return res.Acc, nil
+	}
+}
+
+// StepOnce advances the simulation by one kick-drift step of size dlnA using
+// the symplectic comoving leapfrog (Quinn et al. 1997): the momenta lead or
+// trail the positions by half a step.  The first call primes the offset with
+// a half kick.
+func (s *Simulation) StepOnce(dlnA float64) error {
+	if s.P == nil {
+		return fmt.Errorf("twohot: no particles loaded")
+	}
+	if dlnA <= 0 {
+		return fmt.Errorf("twohot: dlnA must be positive")
+	}
+	aNow := s.A
+	aNext := aNow * math.Exp(dlnA)
+	if aNext > 1 {
+		aNext = 1
+	}
+	aHalfNext := math.Sqrt(aNow * aNext)
+
+	acc, err := s.Accelerations()
+	if err != nil {
+		return err
+	}
+	// Kick the momenta from wherever they currently are (a_init on the very
+	// first step, the previous half step afterwards) to the next half step.
+	kick := s.Par.KickFactor(s.AMom, aHalfNext)
+	for i := range s.P.Mom {
+		s.P.Mom[i] = s.P.Mom[i].Add(acc[i].Scale(kick))
+	}
+	s.AMom = aHalfNext
+
+	// Drift the positions across the full step using the half-step momenta.
+	drift := s.Par.DriftFactor(aNow, aNext)
+	l := s.Cfg.BoxSize
+	for i := range s.P.Pos {
+		s.P.Pos[i] = vec.WrapV(s.P.Pos[i].Add(s.P.Mom[i].Scale(drift)), l)
+	}
+	s.A = aNext
+	s.StepCount++
+	return nil
+}
+
+// Synchronize closes the leapfrog by kicking the momenta from the half step
+// up to the position time, so that positions and velocities refer to the same
+// epoch (used before measurements that need velocities and before writing a
+// synchronized snapshot).
+func (s *Simulation) Synchronize() error {
+	if s.AMom == s.A {
+		return nil
+	}
+	acc, err := s.Accelerations()
+	if err != nil {
+		return err
+	}
+	kick := s.Par.KickFactor(s.AMom, s.A)
+	for i := range s.P.Mom {
+		s.P.Mom[i] = s.P.Mom[i].Add(acc[i].Scale(kick))
+	}
+	s.AMom = s.A
+	return nil
+}
+
+// Run evolves the simulation from its current epoch to z_final in
+// Cfg.NSteps equal logarithmic steps, calling progress (if non-nil) after
+// every step.
+func (s *Simulation) Run(progress func(step int, z float64)) error {
+	if s.P == nil {
+		if err := s.GenerateICs(); err != nil {
+			return err
+		}
+	}
+	aFinal := 1 / (1 + s.Cfg.ZFinal)
+	dlnA := math.Log(aFinal/s.A) / float64(s.Cfg.NSteps)
+	for step := 0; step < s.Cfg.NSteps && s.A < aFinal-1e-12; step++ {
+		if err := s.StepOnce(dlnA); err != nil {
+			return err
+		}
+		if progress != nil {
+			progress(s.StepCount, s.Redshift())
+		}
+	}
+	return s.Synchronize()
+}
+
+// HalveTimestep and DoubleTimestep express the paper's policy of restricting
+// timestep changes to exact factors of two; they return the adjusted step.
+func HalveTimestep(dlnA float64) float64  { return dlnA / 2 }
+func DoubleTimestep(dlnA float64) float64 { return dlnA * 2 }
+
+// SuggestTimestep returns a step (in dlnA) limited so that no particle moves
+// more than maxDisplacementFrac of the mean interparticle separation, then
+// rounded down to the nearest factor-of-two division of baseStep.
+func (s *Simulation) SuggestTimestep(baseStep, maxDisplacementFrac float64) float64 {
+	if s.P == nil || s.LastForce == nil {
+		return baseStep
+	}
+	sep := s.Cfg.BoxSize / float64(s.Cfg.NGrid)
+	vmax := 0.0
+	for _, m := range s.P.Mom {
+		if v := m.Norm(); v > vmax {
+			vmax = v
+		}
+	}
+	if vmax == 0 {
+		return baseStep
+	}
+	// dx = p/a^2 * dt, dt ~ dlnA / H
+	h := s.Par.Hubble(s.A)
+	dlnAMax := maxDisplacementFrac * sep * s.A * s.A * h / vmax
+	step := baseStep
+	for step > dlnAMax && step > 1e-6 {
+		step = HalveTimestep(step)
+	}
+	return step
+}
+
+// PowerSpectrum measures the matter power spectrum of the current particle
+// distribution on an nMesh^3 grid.  No Poisson shot-noise term is subtracted:
+// the particle load originates from a grid (sub-Poissonian), and every
+// experiment that uses this estimator (Figure 7) compares ratios of runs
+// sharing the same discreteness.
+func (s *Simulation) PowerSpectrum(nMesh int) []grid.PowerSpectrumResult {
+	if nMesh == 0 {
+		nMesh = 2 * s.Cfg.NGrid
+	}
+	return grid.MeasureParticlePower(s.P.Pos, s.Cfg.BoxSize, nMesh, grid.PowerSpectrumOptions{
+		NumParticles: s.P.Len(),
+	})
+}
+
+// Halos runs the FOF finder (and spherical overdensity masses) on the current
+// particle distribution.
+func (s *Simulation) Halos(minMembers int) []halo.Halo {
+	opt := halo.Options{BoxSize: s.Cfg.BoxSize, MinMembers: minMembers}
+	h := halo.FOF(s.P.Pos, s.P.Mass, opt)
+	halo.SphericalOverdensity(s.P.Pos, s.P.Mass, h, opt)
+	return h
+}
+
+// MassFunction measures the SO mass function of the current snapshot and
+// returns it together with the ratio to the Tinker08 prediction (the Figure 8
+// observable).
+func (s *Simulation) MassFunction(minMembers, nBins int) ([]massfunc.Bin, []float64, []float64) {
+	halos := s.Halos(minMembers)
+	var masses []float64
+	for _, h := range halos {
+		if h.M200b > 0 {
+			masses = append(masses, h.M200b)
+		}
+	}
+	if len(masses) == 0 {
+		return nil, nil, nil
+	}
+	minM, maxM := masses[len(masses)-1], masses[0]
+	bins := massfunc.Measure(masses, s.Cfg.BoxSize, minM, maxM*1.0001, nBins)
+	pred := massfunc.NewPredictor(s.Par, s.Spec, s.Redshift())
+	m, ratio, _ := pred.RatioToFit(massfunc.Tinker08, bins)
+	return bins, m, ratio
+}
+
+// Snapshot converts the current state into an SDF snapshot structure.
+func (s *Simulation) Snapshot() *sdf.Snapshot {
+	return &sdf.Snapshot{
+		Particles:        s.P,
+		ScaleFac:         s.A,
+		MomentumScaleFac: s.AMom,
+		BoxSize:          s.Cfg.BoxSize,
+		Cosmology:        s.Cfg.Cosmology,
+		Extra: map[string]string{
+			"name": s.Cfg.Name,
+			"step": fmt.Sprintf("%d", s.StepCount),
+		},
+	}
+}
+
+// WriteCheckpoint saves the complete state, including the leapfrog offset, so
+// a restart continues with second-order accuracy.
+func (s *Simulation) WriteCheckpoint(path string) error {
+	return sdf.Write(path, s.Snapshot())
+}
+
+// RestoreCheckpoint loads a checkpoint previously written by WriteCheckpoint.
+func (s *Simulation) RestoreCheckpoint(path string) error {
+	snap, err := sdf.Read(path)
+	if err != nil {
+		return err
+	}
+	s.P = snap.Particles
+	s.A = snap.ScaleFac
+	s.AMom = snap.MomentumScaleFac
+	if snap.BoxSize > 0 {
+		s.Cfg.BoxSize = snap.BoxSize
+	}
+	return nil
+}
+
+// OutputPath joins the configured output directory with a file name.
+func (s *Simulation) OutputPath(name string) string {
+	if s.Cfg.OutputDir == "" {
+		return name
+	}
+	return filepath.Join(s.Cfg.OutputDir, name)
+}
+
+// LinearGrowthBetween returns D(aFinal)/D(aInit), the factor by which linear
+// fluctuations should have grown over the run — the analytic yardstick used
+// by the integration tests.
+func (s *Simulation) LinearGrowthBetween(aInit, aFinal float64) float64 {
+	return s.Par.GrowthFactor(aFinal) / s.Par.GrowthFactor(aInit)
+}
