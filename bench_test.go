@@ -26,6 +26,7 @@ import (
 	"twohot/internal/particle"
 	"twohot/internal/softening"
 	"twohot/internal/traverse"
+	"twohot/internal/tree"
 	"twohot/internal/vec"
 )
 
@@ -247,28 +248,7 @@ func BenchmarkAblationBackgroundSubtraction(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 func clusteredParticleSet(n int, seed int64) *particle.Set {
-	rng := rand.New(rand.NewSource(seed))
-	set := particle.New(n)
-	nBlob := 6
-	centers := make([]vec.V3, nBlob)
-	for i := range centers {
-		centers[i] = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
-	}
-	for i := 0; i < n; i++ {
-		var p vec.V3
-		if i%4 == 0 {
-			p = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
-		} else {
-			c := centers[rng.Intn(nBlob)]
-			p = vec.V3{
-				vec.PeriodicWrap(c[0]+0.05*rng.NormFloat64(), 1),
-				vec.PeriodicWrap(c[1]+0.05*rng.NormFloat64(), 1),
-				vec.PeriodicWrap(c[2]+0.05*rng.NormFloat64(), 1),
-			}
-		}
-		set.Append(p, vec.V3{}, 1, int64(i))
-	}
-	return set
+	return particle.Clustered(n, seed)
 }
 
 func BenchmarkTable1MachinePerformance(b *testing.B) {
@@ -558,6 +538,47 @@ func BenchmarkPeriodicCost(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tree construction: the parallel build pipeline (parallel keying, record
+// sort, concurrent subtree arenas) against the serial reference.  The
+// equivalence suite in internal/tree proves both produce bit-identical
+// trees; this benchmark tracks the speedup.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTreeBuild(b *testing.B) {
+	sizes := []int{65536, 262144}
+	if testing.Short() {
+		sizes = []int{65536}
+	}
+	box := vec.CubeBox(vec.V3{}, 1)
+	for _, n := range sizes {
+		set := clusteredParticleSet(n, 21)
+		workerCounts := []int{1}
+		if g := runtime.GOMAXPROCS(0); g > 1 {
+			workerCounts = append(workerCounts, g)
+		}
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("N=%d/workers=%d", n, w), func(b *testing.B) {
+				pos := make([]vec.V3, n)
+				mass := make([]float64, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Build reorders in place; restore outside the timer so
+					// the serial memcpy does not dilute the speedup number.
+					b.StopTimer()
+					copy(pos, set.Pos)
+					copy(mass, set.Mass)
+					b.StartTimer()
+					if _, err := tree.Build(pos, mass, box, tree.Options{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mparticles/s")
+			})
+		}
 	}
 }
 

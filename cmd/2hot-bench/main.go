@@ -6,13 +6,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
 	"time"
 
 	"twohot/internal/core"
 	"twohot/internal/multipole"
+	"twohot/internal/particle"
+	"twohot/internal/tree"
 	"twohot/internal/vec"
 )
 
@@ -20,6 +25,8 @@ func main() {
 	fig6 := flag.Bool("fig6", true, "print the Figure 6 multipole error table")
 	table3 := flag.Bool("table3", true, "run the Table 3 monopole micro-kernel")
 	ablation := flag.Bool("ablation-bg", false, "run the background-subtraction ablation (slower)")
+	treeBuild := flag.Bool("treebuild", false, "benchmark the parallel tree build and write a JSON report")
+	treeBuildOut := flag.String("treebuild-out", "BENCH_treebuild.json", "output path of the tree-build report")
 	flag.Parse()
 
 	if *table3 {
@@ -31,7 +38,90 @@ func main() {
 	if *ablation {
 		runAblation()
 	}
+	if *treeBuild {
+		if err := runTreeBuild(*treeBuildOut); err != nil {
+			fmt.Fprintln(os.Stderr, "treebuild:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Println("\nFor Tables 1-2 and Figures 5, 7, 8 run:  go test -bench=. -benchtime=1x .")
+}
+
+// treeBuildResult is one row of the tree-build performance report: the build
+// time for a particle count and worker count, and the speedup relative to
+// the serial (workers=1) build of the same particle count.
+type treeBuildResult struct {
+	Particles int     `json:"particles"`
+	Workers   int     `json:"workers"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	Speedup   float64 `json:"speedup_vs_serial"`
+}
+
+type treeBuildReport struct {
+	Cores     int               `json:"cores"`
+	LeafSize  int               `json:"leaf_size"`
+	Order     int               `json:"order"`
+	Timestamp string            `json:"timestamp"`
+	Results   []treeBuildResult `json:"results"`
+}
+
+// runTreeBuild measures tree.Build over a grid of particle and worker counts
+// on the shared clustered snapshot (particle.Clustered, the same workload
+// BenchmarkTreeBuild times) and writes BENCH_treebuild.json, so the
+// build-time trajectory is tracked from PR to PR.
+func runTreeBuild(outPath string) error {
+	box := vec.CubeBox(vec.V3{}, 1)
+	report := treeBuildReport{
+		Cores:     runtime.GOMAXPROCS(0),
+		LeafSize:  16,
+		Order:     4,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	workerCounts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		workerCounts = append(workerCounts, g)
+	}
+	fmt.Printf("\nTree build (clustered snapshot, %d cores):\n", report.Cores)
+	for _, n := range []int{65536, 262144} {
+		set := particle.Clustered(n, 21)
+		work := make([]vec.V3, n)
+		wmass := make([]float64, n)
+		serialNs := 0.0
+		for _, w := range workerCounts {
+			// Best of three runs, each on a fresh copy (Build reorders in
+			// place).
+			best := time.Duration(0)
+			for rep := 0; rep < 3; rep++ {
+				copy(work, set.Pos)
+				copy(wmass, set.Mass)
+				start := time.Now()
+				opts := tree.Options{Order: report.Order, LeafSize: report.LeafSize, Workers: w}
+				if _, err := tree.Build(work, wmass, box, opts); err != nil {
+					return err
+				}
+				el := time.Since(start)
+				if best == 0 || el < best {
+					best = el
+				}
+			}
+			ns := float64(best.Nanoseconds())
+			if w == 1 {
+				serialNs = ns
+			}
+			res := treeBuildResult{Particles: n, Workers: w, NsPerOp: ns, Speedup: serialNs / ns}
+			report.Results = append(report.Results, res)
+			fmt.Printf("  N=%7d workers=%2d  %8.1f ms  speedup %.2fx\n", n, w, ns/1e6, res.Speedup)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
 }
 
 func runTable3() {

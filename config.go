@@ -57,7 +57,7 @@ type Config struct {
 	Softening             float64    `json:"softening"`      // absolute override (Mpc/h)
 	PMGrid                int        `json:"pm_grid"`        // mesh for pm/treepm
 	Asmth                 float64    `json:"asmth"`          // treepm split in mesh cells
-	Workers               int        `json:"workers"`
+	Workers               int        `json:"workers"` // goroutines for tree build + traversal (0 = GOMAXPROCS)
 
 	// Time integration.
 	ZFinal float64 `json:"z_final"`

@@ -1,0 +1,3 @@
+module twohot
+
+go 1.24

@@ -120,11 +120,18 @@ func DistributedStep(set *particle.Set, cfg DistributedConfig) (*DistributedResu
 		if r.ID < r.N()-1 {
 			keyHi = decomp.Splitters[r.ID]
 		}
+		// Ranks already run on their own goroutines, so split the build
+		// worker budget across them rather than oversubscribing.
+		buildWorkers := cfg.Tree.Workers / cfg.NRanks
+		if buildWorkers < 1 {
+			buildWorkers = 1
+		}
 		dt, err := tree.NewDistributed(my.Pos, my.Mass, box, tree.Options{
 			Order:    cfg.Tree.Order,
 			LeafSize: cfg.Tree.LeafSize,
 			RhoBar:   rhoBar,
 			Rank:     r.ID,
+			Workers:  buildWorkers,
 		}, keyLo, keyHi)
 		if err != nil {
 			panic(err)

@@ -70,7 +70,7 @@ type TreeConfig struct {
 	WS                    int // explicit replica shells for periodic runs (paper: 2)
 	LatticeOrder          int // far-lattice local expansion order (0 disables)
 
-	Workers int // traversal worker goroutines (0 = GOMAXPROCS)
+	Workers int // tree-build and traversal worker goroutines (0 = GOMAXPROCS)
 }
 
 func (c *TreeConfig) defaults() {
@@ -168,6 +168,7 @@ func (s *TreeSolver) Forces(pos []vec.V3, mass []float64) (*Result, error) {
 		Order:    cfg.Order,
 		LeafSize: cfg.LeafSize,
 		RhoBar:   rhoBar,
+		Workers:  cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

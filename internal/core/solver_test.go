@@ -89,6 +89,9 @@ func TestTreeSolverMatchesDirectOpenBoundary(t *testing.T) {
 }
 
 func TestTreeSolverBackgroundSubtractionAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute-force Ewald reference is too slow under -short/-race")
+	}
 	// A small periodic box: verify periodic tree forces (with background
 	// subtraction, explicit ws=2 replicas and the far-lattice local
 	// expansion) against brute-force Ewald summation.
@@ -149,6 +152,9 @@ func TestBackgroundSubtractionReducesInteractions(t *testing.T) {
 	// The headline claim of Section 2.2.1: for a near-uniform (early time)
 	// distribution at fixed absolute error tolerance, background subtraction
 	// reduces the number of interactions substantially.
+	if testing.Short() {
+		t.Skip("two full periodic solves on a 16^3 grid are too slow under -short/-race")
+	}
 	pos, mass := perturbedGrid(16, 1.0, 0.02, 11)
 	base := TreeConfig{Order: 4, ErrTol: 1e-5, Periodic: true, BoxSize: 1, WS: 1}
 

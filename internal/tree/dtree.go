@@ -2,6 +2,7 @@ package tree
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"twohot/internal/keys"
@@ -67,6 +68,9 @@ func NewDistributed(pos []vec.V3, mass []float64, box vec.Box, opt Options, keyL
 	if len(pos) == 0 {
 		return nil, fmt.Errorf("tree: rank owns no particles")
 	}
+	if len(pos) > math.MaxInt32 {
+		return nil, fmt.Errorf("tree: %d particles exceed the 2^31 sort-record limit", len(pos))
+	}
 	t := &Tree{
 		Opt:  opt,
 		Box:  box,
@@ -74,27 +78,8 @@ func NewDistributed(pos []vec.V3, mass []float64, box vec.Box, opt Options, keyL
 		Pos:  pos,
 		Mass: mass,
 	}
-	ks := make([]uint64, len(pos))
-	for i, p := range pos {
-		ks[i] = uint64(keys.FromPosition(p, box, keys.Morton))
-	}
-	idx := make([]int, len(pos))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
-	newPos := make([]vec.V3, len(pos))
-	newMass := make([]float64, len(pos))
-	newKeys := make([]uint64, len(pos))
-	for i, j := range idx {
-		newPos[i] = pos[j]
-		newMass[i] = mass[j]
-		newKeys[i] = ks[j]
-	}
-	copy(pos, newPos)
-	copy(mass, newMass)
-	t.Keys = newKeys
-	t.SortIndex = idx
+	workers := opt.workerCount()
+	t.sortParticles(workers)
 	if opt.RhoBar > 0 {
 		t.buildBackgroundMoments()
 	}
@@ -102,12 +87,12 @@ func NewDistributed(pos []vec.V3, mass []float64, box vec.Box, opt Options, keyL
 	d := &Distributed{Tree: t, KeyLo: keyLo, KeyHi: keyHi}
 	for _, bk := range BranchKeys(keyLo, keyHi) {
 		lo, hi := bk.BodyRange()
-		first := sort.Search(len(newKeys), func(i int) bool { return newKeys[i] >= uint64(lo) })
-		last := sort.Search(len(newKeys), func(i int) bool { return newKeys[i] > uint64(hi) })
+		first := sort.Search(len(t.Keys), func(i int) bool { return t.Keys[i] >= uint64(lo) })
+		last := sort.Search(len(t.Keys), func(i int) bool { return t.Keys[i] > uint64(hi) })
 		if last <= first {
 			continue
 		}
-		idx := t.buildCell(bk, first, last-first)
+		idx := t.buildRange(bk, first, last-first, workers)
 		if bk == keys.RootKey {
 			t.RootIdx = idx
 		}

@@ -1,0 +1,306 @@
+package tree
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"twohot/internal/keys"
+	"twohot/internal/parsort"
+	"twohot/internal/vec"
+)
+
+// This file implements the parallel build pipeline behind Build and
+// NewDistributed.  The stages are
+//
+//  1. key computation over parallel chunks (element-wise keys.FromPosition),
+//  2. a parallel sort of packed (key, index) records (parsort.SortKV),
+//  3. a gather of the particle arrays into key order over parallel chunks,
+//  4. concurrent subtree builds: the domain is split at a level chosen from
+//     the worker count, each split cell's subtree is built into a private
+//     arena, and a single-threaded stitch replays the upper walk to install
+//     arenas and hash entries in the serial build's exact pre-order,
+//  5. a final parallel internal-moment pass over the stitched upper cells,
+//     level by level from the deepest.
+//
+// Every stage is deterministic independently of the worker count and of
+// goroutine scheduling: stages 1 and 3 are element-wise, the sort order is
+// total (ties broken by original index), the cell layout of stage 4 depends
+// only on the sorted keys, and stage 5 computes each cell's moments from
+// already-finished children with the same code the serial build uses.  The
+// equivalence suite in build_equiv_test.go pins this bit-for-bit.
+
+// workerCount resolves Options.Workers (0 = GOMAXPROCS).
+func (o *Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelChunks runs body over contiguous chunks of [0, n) on up to workers
+// goroutines and waits for completion.
+func parallelChunks(n, workers int, body func(lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sortParticles computes body keys for t.Pos and reorders t.Pos/t.Mass in
+// place into canonical (key, original index) order, filling t.Keys and
+// t.SortIndex.  All stages run over parallel chunks.
+func (t *Tree) sortParticles(workers int) {
+	n := len(t.Pos)
+	recs := make([]parsort.KV, n)
+	parallelChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			recs[i] = parsort.KV{
+				Key: uint64(keys.FromPosition(t.Pos[i], t.Box, keys.Morton)),
+				Idx: int32(i),
+			}
+		}
+	})
+	parsort.SortKV(recs, workers)
+
+	newPos := make([]vec.V3, n)
+	newMass := make([]float64, n)
+	newKeys := make([]uint64, n)
+	idx := make([]int, n)
+	parallelChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := recs[i]
+			newPos[i] = t.Pos[r.Idx]
+			newMass[i] = t.Mass[r.Idx]
+			newKeys[i] = r.Key
+			idx[i] = int(r.Idx)
+		}
+	})
+	parallelChunks(n, workers, func(lo, hi int) {
+		copy(t.Pos[lo:hi], newPos[lo:hi])
+		copy(t.Mass[lo:hi], newMass[lo:hi])
+	})
+	t.Keys = newKeys
+	t.SortIndex = idx
+}
+
+// buildRange constructs the subtree covering the key-sorted particle range
+// [first, first+count) under key: serially for workers <= 1 (the reference
+// implementation the equivalence suite compares against), through the
+// arena pipeline otherwise.
+func (t *Tree) buildRange(key keys.Key, first, count, workers int) int32 {
+	if workers <= 1 {
+		return t.buildCell(key, first, count)
+	}
+	return t.buildParallel(key, first, count, workers)
+}
+
+// splitLevelFor picks the absolute level at which the domain is cut into
+// independent build tasks: deep enough for a few tasks per worker (so
+// clustered inputs load-balance), capped so the serial plan/stitch walk over
+// the upper cells stays negligible.
+func splitLevelFor(rootLevel, workers int) int {
+	level := rootLevel + 1
+	tasks := 8
+	for tasks < 4*workers && level < rootLevel+3 && level < keys.MaxDepth {
+		level++
+		tasks *= 8
+	}
+	return level
+}
+
+// buildTask is one independent subtree build: the cell key and its particle
+// range.  Tasks are emitted and stitched in DFS (key) order.
+type buildTask struct {
+	key          keys.Key
+	first, count int
+}
+
+// arena accumulates one task's subtree with arena-local child indices.
+// Arena builds only read shared tree state (sorted particles, background
+// moments, options); the global cell array and hash table are mutated solely
+// by the stitch phase on the calling goroutine.
+type arena struct {
+	t     *Tree
+	cells []*Cell
+}
+
+// build mirrors Tree.buildCell exactly, appending into the arena instead of
+// the tree and computing all leaf and internal moments of the subtree.
+func (a *arena) build(key keys.Key, first, count int) int32 {
+	t := a.t
+	level := key.Level()
+	c := t.newCell(key, first, count)
+	idx := int32(len(a.cells))
+	a.cells = append(a.cells, &c)
+
+	if count <= t.Opt.LeafSize || level >= keys.MaxDepth {
+		c.Leaf = true
+		t.leafMoments(&c)
+		return idx
+	}
+	lo := first
+	for oct := 0; oct < 8; oct++ {
+		childKey := key.Child(oct)
+		hi := lo + t.childUpperBound(childKey, lo, first+count)
+		if hi > lo {
+			ci := a.build(childKey, lo, hi-lo)
+			c.ChildIdx[oct] = ci
+			c.ChildMask |= 1 << uint(oct)
+		}
+		lo = hi
+	}
+	t.internalMoments(&c, func(oct int) *Cell {
+		if ci := c.ChildIdx[oct]; ci != NoChild {
+			return a.cells[ci]
+		}
+		return nil
+	})
+	return idx
+}
+
+// buildParallel is the concurrent counterpart of buildCell for the same
+// (key, first, count) subtree.  See the file comment for the stages.
+func (t *Tree) buildParallel(root keys.Key, first, count, workers int) int32 {
+	splitLevel := splitLevelFor(root.Level(), workers)
+
+	// taskHere decides, identically in the plan and stitch walks, whether a
+	// cell is built whole by one task (leaves included: a range that the
+	// serial build would turn into a leaf is a single-cell task).
+	taskHere := func(level, count int) bool {
+		return count <= t.Opt.LeafSize || level >= keys.MaxDepth || level >= splitLevel
+	}
+
+	// Phase 1: plan — walk the upper tree over key ranges only, emitting
+	// tasks in DFS order.
+	var tasks []buildTask
+	var plan func(key keys.Key, first, count int)
+	plan = func(key keys.Key, first, count int) {
+		if taskHere(key.Level(), count) {
+			tasks = append(tasks, buildTask{key, first, count})
+			return
+		}
+		lo := first
+		for oct := 0; oct < 8; oct++ {
+			childKey := key.Child(oct)
+			hi := lo + t.childUpperBound(childKey, lo, first+count)
+			if hi > lo {
+				plan(childKey, lo, hi-lo)
+			}
+			lo = hi
+		}
+	}
+	plan(root, first, count)
+
+	// Phase 2: build every task's subtree into its own arena, workers
+	// pulling tasks from an atomic cursor.
+	arenas := make([][]*Cell, len(tasks))
+	nw := workers
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ti := int(cursor.Add(1)) - 1
+				if ti >= len(tasks) {
+					return
+				}
+				a := arena{t: t}
+				a.build(tasks[ti].key, tasks[ti].first, tasks[ti].count)
+				arenas[ti] = a.cells
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 3: stitch — replay the planning walk on the calling goroutine,
+	// appending upper cells and arena cells so that the cell array and the
+	// hash-table insertion sequence match the serial build's pre-order
+	// exactly.  Upper-cell moments are deferred to phase 4.
+	var upper []int32
+	nextTask := 0
+	var stitch func(key keys.Key, first, count int) int32
+	stitch = func(key keys.Key, first, count int) int32 {
+		if taskHere(key.Level(), count) {
+			base := int32(len(t.Cell))
+			for _, c := range arenas[nextTask] {
+				for o := range c.ChildIdx {
+					if c.ChildIdx[o] != NoChild {
+						c.ChildIdx[o] += base
+					}
+				}
+				idx := int32(len(t.Cell))
+				t.Cell = append(t.Cell, c)
+				t.Hash.Put(c.Key, idx)
+			}
+			nextTask++
+			return base
+		}
+		c := t.newCell(key, first, count)
+		idx := int32(len(t.Cell))
+		t.Cell = append(t.Cell, &c)
+		t.Hash.Put(key, idx)
+		lo := first
+		for oct := 0; oct < 8; oct++ {
+			childKey := key.Child(oct)
+			hi := lo + t.childUpperBound(childKey, lo, first+count)
+			if hi > lo {
+				ci := stitch(childKey, lo, hi-lo)
+				t.Cell[idx].ChildIdx[oct] = ci
+				t.Cell[idx].ChildMask |= 1 << uint(oct)
+			}
+			lo = hi
+		}
+		upper = append(upper, idx)
+		return idx
+	}
+	rootIdx := stitch(root, first, count)
+
+	// Phase 4: parallel internal-moment pass over the upper cells, level by
+	// level from the deepest.  A level-L upper cell's children are either
+	// arena roots (finished in phase 2) or level-L+1 upper cells (finished in
+	// the previous wave), and each cell's computation touches only its own
+	// expansion, so the waves are race-free and order-independent.
+	if len(upper) > 0 {
+		maxLevel := root.Level()
+		byLevel := map[int][]int32{}
+		for _, ci := range upper {
+			l := t.Cell[ci].Level
+			byLevel[l] = append(byLevel[l], ci)
+			if l > maxLevel {
+				maxLevel = l
+			}
+		}
+		for l := maxLevel; l >= root.Level(); l-- {
+			cells := byLevel[l]
+			if len(cells) == 0 {
+				continue
+			}
+			parallelChunks(len(cells), workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					t.computeInternalMoments(cells[i])
+				}
+			})
+		}
+	}
+	return rootIdx
+}

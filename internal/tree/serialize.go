@@ -4,11 +4,18 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"twohot/internal/keys"
 	"twohot/internal/multipole"
 	"twohot/internal/vec"
 )
+
+// maxDecodeOrder bounds the multipole order accepted from the wire.  Orders
+// beyond multipole.MaxOrder would not just over-allocate: evaluating such an
+// expansion panics inside multipole.Table, so a corrupt buffer must be
+// rejected here, at decode time.
+const maxDecodeOrder = multipole.MaxOrder
 
 // EncodeCell serializes a cell (including its expansion and, for leaves, its
 // particle payload) for shipment to another rank, either during the branch
@@ -71,6 +78,9 @@ func DecodeCell(data []byte) (Cell, error) {
 	c.Leaf = leaf == 1
 	c.Owner = int(owner)
 	c.Remote = true
+	if p < 0 || p > maxDecodeOrder {
+		return c, fmt.Errorf("tree: decode cell: invalid multipole order %d", p)
+	}
 	e := multipole.NewExpansion(int(p), c.Center)
 	e.Norms = make([]float64, int(p)+1)
 	if err := firstErr(rd(e.M), rd(e.B), rd(&e.Bmax), rd(&e.Mass), rd(e.Norms)); err != nil {
@@ -84,6 +94,11 @@ func DecodeCell(data []byte) (Cell, error) {
 		var n int64
 		if err := rd(&n); err != nil {
 			return c, fmt.Errorf("tree: decode leaf payload: %w", err)
+		}
+		// A V3 + mass is 32 bytes per body: reject counts the remaining
+		// buffer cannot possibly hold before allocating.
+		if n < 0 || n > int64(r.Len())/32 {
+			return c, fmt.Errorf("tree: decode leaf payload: implausible body count %d", n)
 		}
 		c.RemotePos = make([]vec.V3, n)
 		c.RemoteMass = make([]float64, n)
@@ -115,22 +130,29 @@ func (t *Tree) EncodeCells(cells []*Cell) []byte {
 	return buf.Bytes()
 }
 
-// DecodeCells reverses EncodeCells.
+// DecodeCells reverses EncodeCells.  Truncated or corrupt buffers yield an
+// error, never a partial success or a panic.
 func DecodeCells(data []byte) ([]Cell, error) {
 	r := bytes.NewReader(data)
 	var n int64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tree: decode cells: %w", err)
 	}
-	out := make([]Cell, 0, n)
+	if n < 0 {
+		return nil, fmt.Errorf("tree: decode cells: negative cell count %d", n)
+	}
+	var out []Cell
 	for i := int64(0); i < n; i++ {
 		var sz int64
 		if err := binary.Read(r, binary.LittleEndian, &sz); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("tree: decode cells: %w", err)
+		}
+		if sz < 0 || sz > int64(r.Len()) {
+			return nil, fmt.Errorf("tree: decode cells: cell %d: size %d exceeds remaining %d bytes", i, sz, r.Len())
 		}
 		b := make([]byte, sz)
-		if _, err := r.Read(b); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("tree: decode cells: %w", err)
 		}
 		c, err := DecodeCell(b)
 		if err != nil {

@@ -60,6 +60,11 @@ type Options struct {
 	// interactions act on the density contrast (Section 2.2.1).
 	RhoBar float64
 	Rank   int // owning rank id (0 for shared-memory trees)
+	// Workers is the number of goroutines used by the build pipeline
+	// (key computation, record sort, subtree construction, moment pass).
+	// 0 means GOMAXPROCS; 1 forces the serial reference build.  The built
+	// tree is bit-identical for every worker count.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -100,8 +105,18 @@ type Tree struct {
 }
 
 // Build constructs a tree for the given particles.  The particle arrays are
-// reordered in place into key order; the tree retains references to them.
-// box must be the cubical root volume containing all positions.
+// reordered in place into canonical (key, original index) order; the tree
+// retains references to them.  box must be the cubical root volume containing
+// all positions.
+//
+// Construction is a parallel pipeline over opt.Workers goroutines: keys are
+// computed in chunks, the (key, index) records are sorted with the parsort
+// record sort, the domain is split into subtrees built concurrently into
+// per-task arenas, and the stitched upper cells get their moments in a final
+// parallel pass.  The result is bit-identical for every worker count: the
+// sort order is total, the arena/stitch layout reproduces the serial
+// pre-order exactly, and every moment is computed by the same code over the
+// same operands in the same sequence.
 func Build(pos []vec.V3, mass []float64, box vec.Box, opt Options) (*Tree, error) {
 	opt.defaults()
 	if len(pos) != len(mass) {
@@ -110,6 +125,9 @@ func Build(pos []vec.V3, mass []float64, box vec.Box, opt Options) (*Tree, error
 	if len(pos) == 0 {
 		return nil, fmt.Errorf("tree: cannot build a tree with no particles")
 	}
+	if len(pos) > math.MaxInt32 {
+		return nil, fmt.Errorf("tree: %d particles exceed the 2^31 sort-record limit", len(pos))
+	}
 	t := &Tree{
 		Opt:  opt,
 		Box:  box,
@@ -117,34 +135,14 @@ func Build(pos []vec.V3, mass []float64, box vec.Box, opt Options) (*Tree, error
 		Pos:  pos,
 		Mass: mass,
 	}
-	// Sort particles by Morton key.
-	ks := make([]uint64, len(pos))
-	for i, p := range pos {
-		ks[i] = uint64(keys.FromPosition(p, box, keys.Morton))
-	}
-	idx := make([]int, len(pos))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return ks[idx[a]] < ks[idx[b]] })
-	newPos := make([]vec.V3, len(pos))
-	newMass := make([]float64, len(pos))
-	newKeys := make([]uint64, len(pos))
-	for i, j := range idx {
-		newPos[i] = pos[j]
-		newMass[i] = mass[j]
-		newKeys[i] = ks[j]
-	}
-	copy(pos, newPos)
-	copy(mass, newMass)
-	t.Keys = newKeys
-	t.SortIndex = idx
+	workers := opt.workerCount()
+	t.sortParticles(workers)
 
 	if opt.RhoBar > 0 {
 		t.buildBackgroundMoments()
 	}
 
-	t.RootIdx = t.buildCell(keys.RootKey, 0, len(pos))
+	t.RootIdx = t.buildRange(keys.RootKey, 0, len(pos), workers)
 	return t, nil
 }
 
@@ -171,16 +169,17 @@ func (t *Tree) BackgroundMomentsForLevel(level int) *multipole.Expansion {
 // RhoBar returns the background density (0 when subtraction is off).
 func (t *Tree) RhoBar() float64 { return t.Opt.RhoBar }
 
-// buildCell recursively constructs the cell covering the given particle range
-// and returns its index.
-func (t *Tree) buildCell(key keys.Key, first, count int) int32 {
-	level := key.Level()
+// newCell initializes the common fields of a local cell covering the given
+// particle range.  Every build path (serial recursion, parallel arenas, the
+// stitch walk) must construct cells through this single helper so their
+// layouts cannot diverge.
+func (t *Tree) newCell(key keys.Key, first, count int) Cell {
 	box := key.CellBox(t.Box)
 	c := Cell{
 		Key:     key,
 		Center:  box.Center(),
 		Size:    box.MaxSide(),
-		Level:   level,
+		Level:   key.Level(),
 		NBodies: count,
 		First:   first,
 		Owner:   t.Opt.Rank,
@@ -188,6 +187,14 @@ func (t *Tree) buildCell(key keys.Key, first, count int) int32 {
 	for i := range c.ChildIdx {
 		c.ChildIdx[i] = NoChild
 	}
+	return c
+}
+
+// buildCell recursively constructs the cell covering the given particle range
+// and returns its index.
+func (t *Tree) buildCell(key keys.Key, first, count int) int32 {
+	level := key.Level()
+	c := t.newCell(key, first, count)
 	idx := int32(len(t.Cell))
 	t.Cell = append(t.Cell, &c)
 	t.Hash.Put(key, idx)
@@ -202,8 +209,7 @@ func (t *Tree) buildCell(key keys.Key, first, count int) int32 {
 	lo := first
 	for oct := 0; oct < 8; oct++ {
 		childKey := key.Child(oct)
-		_, hiKey := childKey.BodyRange()
-		hi := lo + sort.Search(first+count-lo, func(i int) bool { return t.Keys[lo+i] > uint64(hiKey) })
+		hi := lo + t.childUpperBound(childKey, lo, first+count)
 		if hi > lo {
 			ci := t.buildCell(childKey, lo, hi-lo)
 			t.Cell[idx].ChildIdx[oct] = ci
@@ -215,8 +221,19 @@ func (t *Tree) buildCell(key keys.Key, first, count int) int32 {
 	return idx
 }
 
-func (t *Tree) computeLeafMoments(idx int32) {
-	c := t.Cell[idx]
+// childUpperBound returns how many of the sorted keys in t.Keys[lo:hi] fall
+// inside childKey's body-key range (lo being the first candidate slot).
+func (t *Tree) childUpperBound(childKey keys.Key, lo, hi int) int {
+	_, hiKey := childKey.BodyRange()
+	return sort.Search(hi-lo, func(i int) bool { return t.Keys[lo+i] > uint64(hiKey) })
+}
+
+func (t *Tree) computeLeafMoments(idx int32) { t.leafMoments(t.Cell[idx]) }
+
+// leafMoments computes the delta moments of a leaf cell from its particle
+// range.  It only reads shared tree state, so concurrent calls on distinct
+// cells are safe.
+func (t *Tree) leafMoments(c *Cell) {
 	e := multipole.NewExpansion(t.Opt.Order, c.Center)
 	for i := c.First; i < c.First+c.NBodies; i++ {
 		e.AddParticle(t.Pos[i], t.Mass[i])
@@ -228,13 +245,25 @@ func (t *Tree) computeLeafMoments(idx int32) {
 
 func (t *Tree) computeInternalMoments(idx int32) {
 	c := t.Cell[idx]
+	t.internalMoments(c, func(oct int) *Cell {
+		if ci := c.ChildIdx[oct]; ci != NoChild {
+			return t.Cell[ci]
+		}
+		return nil
+	})
+}
+
+// internalMoments shifts the children's moments (resolved through child, so
+// callers can supply arena-local children) up to cell c.  The octant loop and
+// the arithmetic are shared by the serial build, the arena builds and the
+// stitched upper-cell pass, which keeps every path bit-identical.
+func (t *Tree) internalMoments(c *Cell, childAt func(oct int) *Cell) {
 	e := multipole.NewExpansion(t.Opt.Order, c.Center)
 	for oct := 0; oct < 8; oct++ {
-		ci := c.ChildIdx[oct]
-		if ci == NoChild {
+		child := childAt(oct)
+		if child == nil {
 			continue
 		}
-		child := t.Cell[ci]
 		// The children carry delta moments (background already added); to
 		// avoid double counting, shift the raw particle moments instead:
 		// rebuild the parent from the children's delta moments minus their
