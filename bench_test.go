@@ -582,6 +582,77 @@ func BenchmarkTreeBuild(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Tree traversal: the list-inheriting path (hierarchical interaction-list
+// reuse + batched SoA kernels) against the legacy per-group gather it
+// replaced.  The equivalence suite in internal/traverse proves the two are
+// bit-identical; this benchmark tracks the single-core speedup, the
+// replica-walk reduction and allocations/op.  `2hot-bench -traverse` writes
+// the same numbers to BENCH_traverse.json.
+// ---------------------------------------------------------------------------
+
+func traversalBenchWalker(b *testing.B, n int, periodic bool, ws int, bg bool) *traverse.Walker {
+	b.Helper()
+	set := clusteredParticleSet(n, 13)
+	total := 0.0
+	for _, m := range set.Mass {
+		total += m
+	}
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	copy(pos, set.Pos)
+	copy(mass, set.Mass)
+	box := vec.CubeBox(vec.V3{}, 1)
+	rhoBar := 0.0
+	if bg {
+		rhoBar = total
+	}
+	tr, err := tree.Build(pos, mass, box, tree.Options{Order: 4, LeafSize: 16, RhoBar: rhoBar})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := traverse.Config{
+		MAC: traverse.MACAbsoluteError, AccTol: 1e-5 * total / (0.5 * 0.5),
+		Kernel: softening.Plummer, Eps: 0.002,
+		Periodic: periodic, BoxSize: 1, WS: ws,
+	}
+	return traverse.NewWalker(tr, cfg)
+}
+
+func BenchmarkTraversal(b *testing.B) {
+	n := 20000
+	if testing.Short() {
+		n = 8000
+	}
+	for _, tc := range []struct {
+		name     string
+		periodic bool
+		ws       int
+		bg       bool
+	}{
+		{"open", false, 0, false},
+		{"periodic-ws1", true, 1, true},
+		{"periodic-ws2", true, 2, true},
+	} {
+		w := traversalBenchWalker(b, n, tc.periodic, tc.ws, tc.bg)
+		b.Run(tc.name+"/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.ForcesForAllLegacy(1)
+			}
+			b.ReportMetric(float64(w.LastStats.ReplicaWalks), "replica-walks")
+		})
+		b.Run(tc.name+"/inherit", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.ForcesForAll(1)
+			}
+			b.ReportMetric(float64(w.LastStats.ReplicaWalks), "replica-walks")
+			b.ReportMetric(float64(w.LastStats.InheritedItems), "inherited-items")
+		})
+	}
+}
+
 // BenchmarkTreeTraversal provides the plain per-force-solve cost on a
 // clustered snapshot (the number every other benchmark builds on).
 func BenchmarkTreeTraversal(b *testing.B) {

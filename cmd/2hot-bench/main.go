@@ -17,6 +17,8 @@ import (
 	"twohot/internal/core"
 	"twohot/internal/multipole"
 	"twohot/internal/particle"
+	"twohot/internal/softening"
+	"twohot/internal/traverse"
 	"twohot/internal/tree"
 	"twohot/internal/vec"
 )
@@ -27,6 +29,8 @@ func main() {
 	ablation := flag.Bool("ablation-bg", false, "run the background-subtraction ablation (slower)")
 	treeBuild := flag.Bool("treebuild", false, "benchmark the parallel tree build and write a JSON report")
 	treeBuildOut := flag.String("treebuild-out", "BENCH_treebuild.json", "output path of the tree-build report")
+	trav := flag.Bool("traverse", false, "benchmark the list-inheriting traversal against the legacy per-group gather and write a JSON report")
+	travOut := flag.String("traverse-out", "BENCH_traverse.json", "output path of the traversal report")
 	flag.Parse()
 
 	if *table3 {
@@ -41,6 +45,12 @@ func main() {
 	if *treeBuild {
 		if err := runTreeBuild(*treeBuildOut); err != nil {
 			fmt.Fprintln(os.Stderr, "treebuild:", err)
+			os.Exit(1)
+		}
+	}
+	if *trav {
+		if err := runTraverse(*travOut); err != nil {
+			fmt.Fprintln(os.Stderr, "traverse:", err)
 			os.Exit(1)
 		}
 	}
@@ -112,6 +122,112 @@ func runTreeBuild(outPath string) error {
 			report.Results = append(report.Results, res)
 			fmt.Printf("  N=%7d workers=%2d  %8.1f ms  speedup %.2fx\n", n, w, ns/1e6, res.Speedup)
 		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}
+
+// traverseResult is one row of the traversal performance report: legacy
+// per-group gather vs list-inheriting traversal on the same walker
+// (single-core, best of three), with the replica-walk counts that explain
+// the difference.
+type traverseResult struct {
+	Case          string  `json:"case"`
+	Particles     int     `json:"particles"`
+	LegacyNs      float64 `json:"legacy_ns_per_op"`
+	InheritNs     float64 `json:"inherit_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	LegacyWalks   int64   `json:"legacy_replica_walks"`
+	InheritWalks  int64   `json:"inherit_replica_walks"`
+	FrontierItems int64   `json:"inherit_frontier_items"`
+	Inherited     int64   `json:"inherit_decided_items"`
+}
+
+type traverseReport struct {
+	Cores     int              `json:"cores"`
+	Timestamp string           `json:"timestamp"`
+	Results   []traverseResult `json:"results"`
+}
+
+// runTraverse measures both traversal paths on the shared clustered snapshot
+// (the same workload BenchmarkTraversal times) and writes BENCH_traverse.json
+// so traversal performance is tracked from PR to PR.  The equivalence suite
+// guarantees the two paths return bit-identical forces; here the counters are
+// additionally compared as a cheap cross-check.
+func runTraverse(outPath string) error {
+	n := 20000
+	set := particle.Clustered(n, 13)
+	total := 0.0
+	for _, m := range set.Mass {
+		total += m
+	}
+	box := vec.CubeBox(vec.V3{}, 1)
+	report := traverseReport{
+		Cores:     runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("\nTraversal (clustered snapshot, N=%d, 1 worker, %d cores):\n", n, report.Cores)
+	for _, tc := range []struct {
+		name     string
+		periodic bool
+		ws       int
+		bg       bool
+	}{
+		{"open", false, 0, false},
+		{"periodic-ws1", true, 1, true},
+		{"periodic-ws2", true, 2, true},
+	} {
+		pos := make([]vec.V3, n)
+		mass := make([]float64, n)
+		copy(pos, set.Pos)
+		copy(mass, set.Mass)
+		rhoBar := 0.0
+		if tc.bg {
+			rhoBar = total
+		}
+		tr, err := tree.Build(pos, mass, box, tree.Options{Order: 4, LeafSize: 16, RhoBar: rhoBar})
+		if err != nil {
+			return err
+		}
+		w := traverse.NewWalker(tr, traverse.Config{
+			MAC: traverse.MACAbsoluteError, AccTol: 1e-5 * total / (0.5 * 0.5),
+			Kernel: softening.Plummer, Eps: 0.002,
+			Periodic: tc.periodic, BoxSize: 1, WS: tc.ws,
+		})
+		res := traverseResult{Case: tc.name, Particles: n}
+		var cLeg, cNew traverse.Counters
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			_, _, cLeg = w.ForcesForAllLegacy(1)
+			el := float64(time.Since(start).Nanoseconds())
+			if res.LegacyNs == 0 || el < res.LegacyNs {
+				res.LegacyNs = el
+			}
+			res.LegacyWalks = w.LastStats.ReplicaWalks
+			start = time.Now()
+			_, _, cNew = w.ForcesForAll(1)
+			el = float64(time.Since(start).Nanoseconds())
+			if res.InheritNs == 0 || el < res.InheritNs {
+				res.InheritNs = el
+			}
+			res.InheritWalks = w.LastStats.ReplicaWalks
+			res.FrontierItems = w.LastStats.FrontierWalks
+			res.Inherited = w.LastStats.InheritedItems
+		}
+		if cLeg != cNew {
+			return fmt.Errorf("case %s: legacy and inheriting counters differ", tc.name)
+		}
+		res.Speedup = res.LegacyNs / res.InheritNs
+		report.Results = append(report.Results, res)
+		fmt.Printf("  %-14s legacy %8.1f ms  inherit %8.1f ms  speedup %.2fx  walks %d -> %d\n",
+			tc.name, res.LegacyNs/1e6, res.InheritNs/1e6, res.Speedup, res.LegacyWalks, res.InheritWalks)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

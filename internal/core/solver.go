@@ -29,7 +29,10 @@ type Result struct {
 	Acc      []vec.V3  // accelerations, in the caller's particle order
 	Pot      []float64 // kernel sums (physical potential = -Pot)
 	Counters traverse.Counters
-	Timings  Timings
+	// Traversal reports how the interaction lists were built (replica walks,
+	// list inheritance) for solvers that traverse a tree.
+	Traversal traverse.TraversalStats
+	Timings   Timings
 }
 
 // Timings breaks a force computation into the stages reported by Table 2.
@@ -71,6 +74,13 @@ type TreeConfig struct {
 	LatticeOrder          int // far-lattice local expansion order (0 disables)
 
 	Workers int // tree-build and traversal worker goroutines (0 = GOMAXPROCS)
+
+	// LegacyTraversal selects the original per-group root walk instead of
+	// the list-inheriting traversal.  The two are bit-identical (the
+	// equivalence suite in internal/traverse enforces it); the flag exists
+	// for benchmarking and as an escape hatch while the legacy path remains
+	// the reference oracle.
+	LegacyTraversal bool
 }
 
 func (c *TreeConfig) defaults() {
@@ -190,7 +200,14 @@ func (s *TreeSolver) Forces(pos []vec.V3, mass []float64) (*Result, error) {
 	}
 	tt := time.Now()
 	w := traverse.NewWalker(tr, walkCfg)
-	accSorted, potSorted, counters := w.ForcesForAll(cfg.Workers)
+	var accSorted []vec.V3
+	var potSorted []float64
+	var counters traverse.Counters
+	if cfg.LegacyTraversal {
+		accSorted, potSorted, counters = w.ForcesForAllLegacy(cfg.Workers)
+	} else {
+		accSorted, potSorted, counters = w.ForcesForAll(cfg.Workers)
+	}
 	travTime := time.Since(tt)
 
 	// Scatter back to the caller's order.
@@ -201,9 +218,10 @@ func (s *TreeSolver) Forces(pos []vec.V3, mass []float64) (*Result, error) {
 		pot[orig] = potSorted[i]
 	}
 	return &Result{
-		Acc:      acc,
-		Pot:      pot,
-		Counters: counters,
+		Acc:       acc,
+		Pot:       pot,
+		Counters:  counters,
+		Traversal: w.LastStats,
 		Timings: Timings{
 			TreeBuild:       buildTime,
 			TreeTraversal:   travTime,
@@ -268,26 +286,29 @@ func (s *DirectSolver) Forces(pos []vec.V3, mass []float64) (*Result, error) {
 	acc := make([]vec.V3, n)
 	pot := make([]float64, n)
 
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if s.Periodic {
 		// Peculiar accelerations from Ewald images plus neutralizing
-		// background.
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i == j {
-					continue
+		// background.  Each sink's image sums are independent, so the rows
+		// parallelize without changing a bit of the result.
+		traverse.ParallelRange(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					d := pos[i].Sub(pos[j])
+					a := ewald.Accel(d, s.BoxSize, s.Ewald)
+					acc[i] = acc[i].Add(a.Scale(g * mass[j]))
+					pot[i] += g * mass[j] * ewald.Potential(d, s.BoxSize, s.Ewald)
 				}
-				d := pos[i].Sub(pos[j])
-				a := ewald.Accel(d, s.BoxSize, s.Ewald)
-				acc[i] = acc[i].Add(a.Scale(g * mass[j]))
-				pot[i] += g * mass[j] * ewald.Potential(d, s.BoxSize, s.Ewald)
 			}
-		}
+		})
 	} else {
-		workers := s.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		parallelRange(n, workers, func(lo, hi int) {
+		traverse.ParallelRange(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var a vec.V3
 				var p float64
@@ -335,34 +356,6 @@ func Direct32Forces(pos []vec.V3, mass []float64, at vec.V3) (vec.V3, float64) {
 		az += dz * mInv3
 	}
 	return vec.V3{float64(ax), float64(ay), float64(az)}, float64(p)
-}
-
-// parallelRange splits [0,n) into contiguous chunks executed concurrently.
-func parallelRange(n, workers int, body func(lo, hi int)) {
-	if workers <= 1 || n < 2*workers {
-		body(0, n)
-		return
-	}
-	done := make(chan struct{}, workers)
-	chunk := (n + workers - 1) / workers
-	launched := 0
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		launched++
-		go func(lo, hi int) {
-			body(lo, hi)
-			done <- struct{}{}
-		}(lo, hi)
-	}
-	for i := 0; i < launched; i++ {
-		<-done
-	}
 }
 
 // AccuracyStats summarizes the per-particle relative acceleration error of a

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"twohot/internal/ewald"
 	"twohot/internal/softening"
 	"twohot/internal/traverse"
 	"twohot/internal/vec"
@@ -197,5 +198,32 @@ func TestDirect32MatchesDirect64Roughly(t *testing.T) {
 	rel := a32.Sub(ref.Acc[at]).Norm() / ref.Acc[at].Norm()
 	if rel > 1e-4 || math.IsNaN(rel) {
 		t.Errorf("float32 direct sum differs from float64 by %.3g", rel)
+	}
+}
+
+func TestDirectSolverEwaldParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 24
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
+		mass[i] = 1
+	}
+	opt := ewald.Options{RealShell: 2, KShell: 4}
+	serial := &DirectSolver{Periodic: true, BoxSize: 1, Ewald: opt, Workers: 1}
+	par := &DirectSolver{Periodic: true, BoxSize: 1, Ewald: opt, Workers: 4}
+	rs, err := serial.Forces(pos, mass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := par.Forces(pos, mass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pos {
+		if rs.Acc[i] != rp.Acc[i] || rs.Pot[i] != rp.Pot[i] {
+			t.Fatalf("particle %d: parallel Ewald differs from serial", i)
+		}
 	}
 }

@@ -56,6 +56,39 @@ func (e *Expansion) AccelErrorEstimate(q int, d float64) float64 {
 	return float64(q+2) * lead / denom
 }
 
+// EvaluateTruncatedBlock evaluates the expansion at a block of sink
+// positions, each truncated at its own order qs[i], writing the results into
+// out (len(out) >= len(xs)).  This is the batch-friendly entry point used by
+// the list-inheriting traversal: the index table and the moment slice are
+// resolved once per source cell and stay hot across the whole sink block.
+// Each element is bit-identical to the corresponding EvaluateTruncated call.
+func (e *Expansion) EvaluateTruncatedBlock(xs []vec.V3, qs []uint8, scratch []float64, out []Result) {
+	t := Table(e.P)
+	for s := range xs {
+		q := int(qs[s])
+		if q > e.P {
+			q = e.P
+		}
+		r := xs[s].Sub(e.Center)
+		DerivativesInto(r, q+1, scratch[:NumTerms(q+1)])
+		var res Result
+		for n := 0; n <= q; n++ {
+			for i := t.Offset[n]; i < t.Offset[n+1]; i++ {
+				c := t.Coef[i] * e.M[i]
+				if c == 0 {
+					continue
+				}
+				res.Phi += c * scratch[i]
+				raise := t.Raise[i]
+				res.Acc[0] += c * scratch[raise[0]]
+				res.Acc[1] += c * scratch[raise[1]]
+				res.Acc[2] += c * scratch[raise[2]]
+			}
+		}
+		out[s] = res
+	}
+}
+
 // EvaluateTruncated is Evaluate restricted to moments of order <= q, writing
 // the derivative tensors into the provided scratch slice (length at least
 // NumTerms(P+1)).  This is how the traversal spends monopole or quadrupole

@@ -281,3 +281,28 @@ func TestBinomial3(t *testing.T) {
 		t.Error("beta > alpha must give 0")
 	}
 }
+
+func TestEvaluateTruncatedBlockMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pos, mass := randomSources(40, rng)
+	center := vec.V3{0.5, 0.5, 0.5}
+	e := NewExpansion(4, center)
+	e.AddParticles(pos, mass)
+	e.FinalizeNorms()
+	var xs []vec.V3
+	var qs []uint8
+	for i := 0; i < 24; i++ {
+		d := vec.V3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		xs = append(xs, center.Add(d.Scale((2+3*rng.Float64())/d.Norm())))
+		qs = append(qs, uint8(rng.Intn(6))) // includes q > P, clamped like the scalar path
+	}
+	scratch := make([]float64, ScratchSize(4))
+	out := make([]Result, len(xs))
+	e.EvaluateTruncatedBlock(xs, qs, scratch, out)
+	for i := range xs {
+		want := e.EvaluateTruncated(xs[i], int(qs[i]), scratch)
+		if out[i] != want {
+			t.Errorf("block eval %d (q=%d): %+v want %+v", i, qs[i], out[i], want)
+		}
+	}
+}

@@ -113,6 +113,40 @@ func PotentialFactor(k Kernel, r, eps float64) float64 {
 	}
 }
 
+// Factors returns ForceFactor and PotentialFactor together.  The batched
+// particle-particle kernels call it once per pair instead of switching on the
+// kernel twice; for None and Plummer the shared intermediates (the inverse
+// distance and the softened distance) are computed once.  The results are
+// bit-identical to the two separate calls for every kernel, which the
+// traversal equivalence suite relies on.
+func Factors(k Kernel, r, eps float64) (ff, pf float64) {
+	switch k {
+	case None:
+		if r == 0 {
+			return 0, 0
+		}
+		return 1 / (r * r * r), 1 / r
+	case Plummer:
+		d2 := r*r + eps*eps
+		if d2 == 0 {
+			// ForceFactor guards the division; PotentialFactor does not and
+			// yields +Inf, preserved here for exact agreement.
+			return 0, math.Inf(1)
+		}
+		s := math.Sqrt(d2)
+		return 1 / (d2 * s), 1 / s
+	case Spline:
+		return splineForceFactor(r, eps), splinePotentialFactor(r, eps)
+	case DehnenK1:
+		return compensatingForceFactor(r, eps), compensatingPotentialFactor(r, eps)
+	default:
+		if r == 0 {
+			return 0, 0
+		}
+		return 1 / (r * r * r), 1 / r
+	}
+}
+
 // splineForceFactor follows GADGET-2: h is the spline support radius and the
 // acceleration is m*g(r)*r with the piecewise polynomial below.
 func splineForceFactor(r, h float64) float64 {

@@ -111,3 +111,26 @@ func TestParseKernel(t *testing.T) {
 		t.Error("String()")
 	}
 }
+
+func TestFactorsMatchSeparateCalls(t *testing.T) {
+	// The fused entry point must agree bit-for-bit with the two separate
+	// calls: the traversal equivalence suite compares new-path forces against
+	// the legacy path with ==.
+	rs := []float64{0, 1e-170, 1e-9, 0.01, 0.24, 0.25, 0.5, 0.74, 0.99, 1.0, 1.5, 7.3}
+	epss := []float64{0, 0.01, 0.3, 1.0}
+	for _, k := range []Kernel{None, Plummer, Spline, DehnenK1, Kernel(99)} {
+		for _, r := range rs {
+			for _, eps := range epss {
+				ff, pf := Factors(k, r, eps)
+				wantFF := ForceFactor(k, r, eps)
+				wantPF := PotentialFactor(k, r, eps)
+				ffSame := ff == wantFF || (math.IsNaN(ff) && math.IsNaN(wantFF))
+				pfSame := pf == wantPF || (math.IsNaN(pf) && math.IsNaN(wantPF))
+				if !ffSame || !pfSame {
+					t.Errorf("Factors(%v, %g, %g) = (%g, %g), want (%g, %g)",
+						k, r, eps, ff, pf, wantFF, wantPF)
+				}
+			}
+		}
+	}
+}

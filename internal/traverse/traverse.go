@@ -6,6 +6,13 @@
 // field (analytic uniform-cube removal, Figure 2), explicit periodic replicas
 // and the far-lattice local expansion of Section 2.4, and the interaction
 // counters behind the Table 2 flop accounting.
+//
+// The production entry point is the list-inheriting traversal of inherit.go:
+// interaction lists are refined down the sink tree so sibling groups share
+// the decisions of their ancestors, and the resolved lists are applied
+// through batched SoA kernels.  ForcesForAllLegacy keeps the original
+// walk-from-root-per-group traversal as the reference oracle; the two are
+// bit-identical (equiv_test.go).
 package traverse
 
 import (
@@ -128,9 +135,22 @@ type Walker struct {
 	Tree *tree.Tree
 	Cfg  Config
 
+	// LastStats describes the traversal-internal work of the most recent
+	// ForcesForAll or ForcesForAllLegacy call (list reuse, frontier size);
+	// it is bookkeeping about how the lists were built, not physics, so it
+	// is deliberately kept out of Counters.
+	LastStats TraversalStats
+
 	lattice *ewald.Lattice
 	local   *multipole.Local
 	offsets []vec.V3
+
+	// Pooled state of the list-inheriting traversal (inherit.go), reused
+	// across ForcesForAll calls so steady-state allocations stay near zero.
+	sb     sinkBounds
+	initWL worklist
+	pool   []*inheritWS
+	tasks  []inheritTask
 }
 
 // NewWalker prepares a walker; for periodic configurations it precomputes the
@@ -184,10 +204,13 @@ type sinkGroup struct {
 	count  int
 }
 
-// ForcesForAll computes the acceleration and kernel sum for every particle in
-// the tree, using nWorkers goroutines over sink leaf cells.  The returned
-// slices are indexed like the tree's (key-sorted) particle arrays.
-func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
+// ForcesForAllLegacy computes forces with the original per-group traversal:
+// every sink leaf cell walks the tree from the root once per replica offset.
+// It is kept as the reference oracle for the list-inheriting path
+// (ForcesForAll) — the equivalence suite proves the two are bit-identical —
+// and as the baseline of BenchmarkTraversal.  The returned slices are indexed
+// like the tree's (key-sorted) particle arrays.
+func (w *Walker) ForcesForAllLegacy(nWorkers int) ([]vec.V3, []float64, Counters) {
 	t := w.Tree
 	n := len(t.Pos)
 	acc := make([]vec.V3, n)
@@ -235,17 +258,63 @@ func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
 	}
 	wg.Wait()
 
-	// Far-lattice local expansion and final scaling by G.
-	for i := range acc {
-		if w.local != nil {
-			res := w.local.Evaluate(t.Pos[i])
-			acc[i] = acc[i].Add(res.Acc)
-			pot[i] += res.Phi
-		}
-		acc[i] = acc[i].Scale(w.Cfg.G)
-		pot[i] *= w.Cfg.G
+	w.postProcess(acc, pot, nWorkers)
+	walks := int64(len(groups)) * int64(len(w.offsets))
+	w.LastStats = TraversalStats{
+		Groups:        int64(len(groups)),
+		ReplicaWalks:  walks,
+		FrontierWalks: walks,
 	}
 	return acc, pot, total
+}
+
+// postProcess adds the far-lattice local expansion and applies the final
+// scaling by G, over nWorkers goroutines.  Every particle's contribution is
+// independent, so the parallel split does not change a single bit.
+func (w *Walker) postProcess(acc []vec.V3, pot []float64, nWorkers int) {
+	t := w.Tree
+	ParallelRange(len(acc), nWorkers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if w.local != nil {
+				res := w.local.Evaluate(t.Pos[i])
+				acc[i] = acc[i].Add(res.Acc)
+				pot[i] += res.Phi
+			}
+			acc[i] = acc[i].Scale(w.Cfg.G)
+			pot[i] *= w.Cfg.G
+		}
+	})
+}
+
+// ParallelRange splits [0,n) into contiguous chunks executed concurrently on
+// up to `workers` goroutines (inline when workers <= 1 or n is small).  It is
+// shared by the traversal post-pass and core's direct solvers for
+// embarrassingly-parallel per-particle loops.
+func ParallelRange(n, workers int, body func(lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		body(0, n)
+		return
+	}
+	done := make(chan struct{}, workers)
+	chunk := (n + workers - 1) / workers
+	launched := 0
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		launched++
+		go func(lo, hi int) {
+			body(lo, hi)
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for i := 0; i < launched; i++ {
+		<-done
+	}
 }
 
 // sinkRadius is the maximum distance from the cell center to any of its
@@ -271,48 +340,56 @@ func (w *Walker) forcesForGroup(g sinkGroup, il *interactionList, scratch []floa
 
 	il.reset()
 	for _, off := range w.offsets {
-		w.gather(t.Root(), off, g, il, counters)
+		w.gather(t.Root(), off, g, il)
 	}
 
-	// Apply the cell interactions, adaptively choosing the evaluation order.
 	for i := g.first; i < g.first+g.count; i++ {
-		x := t.Pos[i]
-		var a vec.V3
-		var p float64
-		for ci, c := range il.cells {
-			xRel := x.Sub(il.cellOff[ci])
-			q := w.chooseOrder(c, xRel.Dist(c.Exp.Center))
-			res := c.Exp.EvaluateTruncated(xRel, q, scratch)
-			a = a.Add(res.Acc)
-			p += res.Phi
-			counters.CellByOrder[q]++
-		}
-		// Direct particle-particle interactions.
-		for j := range il.srcPos {
-			d := il.srcPos[j].Sub(x)
-			r2 := d.Norm2()
-			if r2 == 0 {
-				continue
-			}
-			r := math.Sqrt(r2)
-			ff := softening.ForceFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
-			pf := softening.PotentialFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
-			m := il.srcMass[j]
-			a = a.Add(d.Scale(m * ff))
-			p += m * pf
-		}
-		counters.P2P += int64(len(il.srcPos))
-		// Near-field background removal (analytic cubes of density -rhobar).
-		for bi := range il.bgBoxes {
-			xRel := x.Sub(il.bgOffsets[bi])
-			ba, bp := cube.BackgroundAccel(il.bgBoxes[bi], t.RhoBar(), xRel)
-			a = a.Add(ba)
-			p += bp
-			counters.BgCubes++
-		}
+		a, p := w.applyList(t.Pos[i], il, scratch, counters)
 		acc[i] = acc[i].Add(a)
 		pot[i] += p
 	}
+}
+
+// applyList applies a gathered interaction list to one sink position: the
+// cell interactions (adaptively choosing the evaluation order), the direct
+// particle-particle interactions, and the analytic near-field background
+// cubes.  It is shared by forcesForGroup and ForceAt so the three application
+// loops exist exactly once.
+func (w *Walker) applyList(x vec.V3, il *interactionList, scratch []float64, counters *Counters) (vec.V3, float64) {
+	var a vec.V3
+	var p float64
+	for ci, c := range il.cells {
+		xRel := x.Sub(il.cellOff[ci])
+		q := w.chooseOrder(c, xRel.Dist(c.Exp.Center))
+		res := c.Exp.EvaluateTruncated(xRel, q, scratch)
+		a = a.Add(res.Acc)
+		p += res.Phi
+		counters.CellByOrder[q]++
+	}
+	// Direct particle-particle interactions.
+	for j := range il.srcPos {
+		d := il.srcPos[j].Sub(x)
+		r2 := d.Norm2()
+		if r2 == 0 {
+			continue
+		}
+		r := math.Sqrt(r2)
+		ff := softening.ForceFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
+		pf := softening.PotentialFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
+		m := il.srcMass[j]
+		a = a.Add(d.Scale(m * ff))
+		p += m * pf
+	}
+	counters.P2P += int64(len(il.srcPos))
+	// Near-field background removal (analytic cubes of density -rhobar).
+	for bi := range il.bgBoxes {
+		xRel := x.Sub(il.bgOffsets[bi])
+		ba, bp := cube.BackgroundAccel(il.bgBoxes[bi], w.Tree.RhoBar(), xRel)
+		a = a.Add(ba)
+		p += bp
+		counters.BgCubes++
+	}
+	return a, p
 }
 
 // chooseOrder returns the lowest expansion order whose error estimate meets
@@ -333,7 +410,7 @@ func (w *Walker) chooseOrder(c *tree.Cell, d float64) int {
 // gather walks the (possibly replica-shifted) tree and fills the interaction
 // list for a sink group.  off is added to all source positions; equivalently
 // the sink is evaluated at x-off against the unshifted sources.
-func (w *Walker) gather(c *tree.Cell, off vec.V3, g sinkGroup, il *interactionList, counters *Counters) {
+func (w *Walker) gather(c *tree.Cell, off vec.V3, g sinkGroup, il *interactionList) {
 	t := w.Tree
 	srcCenter := c.Center.Add(off)
 	dCenter := srcCenter.Dist(g.center)
@@ -363,7 +440,7 @@ func (w *Walker) gather(c *tree.Cell, off vec.V3, g sinkGroup, il *interactionLi
 	for oct := 0; oct < 8; oct++ {
 		child := t.Child(c, oct)
 		if child != nil {
-			w.gather(child, off, g, il, counters)
+			w.gather(child, off, g, il)
 			continue
 		}
 		if t.RhoBar() > 0 {
@@ -422,33 +499,9 @@ func (w *Walker) ForceAt(x vec.V3) (vec.V3, float64) {
 	var counters Counters
 	g := sinkGroup{center: x, radius: 0, first: 0, count: 0}
 	for _, off := range w.offsets {
-		w.gather(t.Root(), off, g, &il, &counters)
+		w.gather(t.Root(), off, g, &il)
 	}
-	var a vec.V3
-	var p float64
-	for ci, c := range il.cells {
-		xRel := x.Sub(il.cellOff[ci])
-		q := w.chooseOrder(c, xRel.Dist(c.Exp.Center))
-		res := c.Exp.EvaluateTruncated(xRel, q, scratch)
-		a = a.Add(res.Acc)
-		p += res.Phi
-	}
-	for j := range il.srcPos {
-		d := il.srcPos[j].Sub(x)
-		r2 := d.Norm2()
-		if r2 == 0 {
-			continue
-		}
-		r := math.Sqrt(r2)
-		a = a.Add(d.Scale(il.srcMass[j] * softening.ForceFactor(w.Cfg.Kernel, r, w.Cfg.Eps)))
-		p += il.srcMass[j] * softening.PotentialFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
-	}
-	for bi := range il.bgBoxes {
-		xRel := x.Sub(il.bgOffsets[bi])
-		ba, bp := cube.BackgroundAccel(il.bgBoxes[bi], t.RhoBar(), xRel)
-		a = a.Add(ba)
-		p += bp
-	}
+	a, p := w.applyList(x, &il, scratch, &counters)
 	if w.local != nil {
 		res := w.local.Evaluate(x)
 		a = a.Add(res.Acc)
