@@ -58,6 +58,14 @@ type Config struct {
 	PMGrid                int        `json:"pm_grid"`        // mesh for pm/treepm
 	Asmth                 float64    `json:"asmth"`          // treepm split in mesh cells
 	Workers               int        `json:"workers"` // goroutines for tree build + traversal (0 = GOMAXPROCS)
+	// Incremental reuses each step's sorted particle order to seed the next
+	// step's tree build (bit-identical to a from-scratch build; near-static
+	// steps skip the full radix sort).
+	Incremental bool `json:"incremental"`
+	// Ranks, when > 1, runs every force solve through the message-passing
+	// DistributedStep pipeline on that many in-process ranks, with
+	// work-weighted domain rebalancing fed back from step to step.
+	Ranks int `json:"ranks,omitempty"`
 
 	// Time integration.
 	ZFinal float64 `json:"z_final"`
@@ -90,6 +98,7 @@ func DefaultConfig() Config {
 		SofteningFrac:         1.0 / 20.0,
 		PMGrid:                64,
 		Asmth:                 1.25,
+		Incremental:           true,
 		ZFinal:                0,
 		NSteps:                32,
 	}
@@ -125,6 +134,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Order < 0 || c.Order > 8 {
 		return fmt.Errorf("config: order must be between 0 and 8")
+	}
+	if c.Ranks < 0 {
+		return fmt.Errorf("config: ranks must not be negative")
+	}
+	if c.Ranks > 1 && c.Solver != SolverTree {
+		return fmt.Errorf("config: ranks > 1 requires the tree solver, not %q", c.Solver)
 	}
 	return nil
 }

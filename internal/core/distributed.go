@@ -199,6 +199,7 @@ func DistributedStep(set *particle.Set, cfg DistributedConfig) (*DistributedResu
 		}
 		t0 = time.Now()
 		w := traverse.NewWalker(dt.Tree, walkCfg)
+		w.WorkOut = make([]float64, len(dt.Tree.Pos))
 		acc, pot, counters := w.ForcesForAll(1)
 		out.traversal = time.Since(t0)
 		out.timings.TreeTraversal = out.traversal - commWait
@@ -207,12 +208,13 @@ func DistributedStep(set *particle.Set, cfg DistributedConfig) (*DistributedResu
 		out.counters = counters
 
 		// Scatter the results back into the rank's particle set and record
-		// per-particle work for the next decomposition.
-		perParticleWork := float64(counters.P2P+counters.CellInteractions()) / float64(maxInt(1, my.Len()))
+		// each particle's actual interaction count for the next
+		// decomposition (the splitters then balance real work, not the
+		// rank-averaged estimate used previously).
 		for i, orig := range dt.SortIndex {
 			my.Acc[orig] = acc[i]
 			my.Pot[orig] = pot[i]
-			my.Work[orig] = perParticleWork
+			my.Work[orig] = w.WorkOut[i]
 		}
 
 		abm.Close()
@@ -329,13 +331,6 @@ func reencode(cells []tree.Cell) []byte {
 }
 
 func maxDuration(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
 	if a > b {
 		return a
 	}

@@ -106,6 +106,88 @@ func ExchangeParticles(r *comm.Rank, set *particle.Set, d *Decomposition, algo c
 	}
 }
 
+// SplitWeighted chooses parts-1 split points over a sequence of per-item
+// work weights so that the cumulative weight of each contiguous shard is as
+// equal as a greedy quantile walk can make it.  It is the shared-memory twin
+// of ChooseSplitters: where the distributed decomposition splits the
+// space-filling curve among ranks by sampled key quantiles, this splits an
+// already-ordered sequence (traversal tasks, particle ranges) among worker
+// goroutines by exact weight quantiles.  The returned boundaries b satisfy
+// 0 <= b[0] <= ... <= b[parts-2] <= len(weights); shard k is
+// [b[k-1], b[k]) with b[-1] = 0 and b[parts-1] = len(weights).
+// Non-positive weights are treated as zero.  The choice is deterministic.
+func SplitWeighted(weights []float64, parts int) []int {
+	if parts < 2 {
+		return nil
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	bounds := make([]int, parts-1)
+	if total <= 0 {
+		// Degenerate weights: fall back to equal item counts.
+		for k := 1; k < parts; k++ {
+			bounds[k-1] = k * len(weights) / parts
+		}
+		return bounds
+	}
+	cum := 0.0
+	k := 1
+	target := total * float64(k) / float64(parts)
+	for i, w := range weights {
+		if w > 0 {
+			cum += w
+		}
+		for k < parts && cum >= target {
+			// Place the boundary after item i: the shard ending here is the
+			// first whose weight reaches its quantile.
+			bounds[k-1] = i + 1
+			k++
+			target = total * float64(k) / float64(parts)
+		}
+	}
+	for ; k < parts; k++ {
+		bounds[k-1] = len(weights)
+	}
+	return bounds
+}
+
+// ShardImbalance returns the max/mean shard weight of a SplitWeighted
+// partition (1.0 is perfect balance), the rebalance-quality metric reported
+// by the stepping benchmark.
+func ShardImbalance(weights []float64, bounds []int) float64 {
+	parts := len(bounds) + 1
+	if parts < 2 || len(weights) == 0 {
+		return 1
+	}
+	maxW, total := 0.0, 0.0
+	lo := 0
+	for k := 0; k < parts; k++ {
+		hi := len(weights)
+		if k < len(bounds) {
+			hi = bounds[k]
+		}
+		w := 0.0
+		for i := lo; i < hi; i++ {
+			if weights[i] > 0 {
+				w += weights[i]
+			}
+		}
+		if w > maxW {
+			maxW = w
+		}
+		total += w
+		lo = hi
+	}
+	if total == 0 {
+		return 1
+	}
+	return maxW / (total / float64(parts))
+}
+
 // Imbalance returns the ratio of the largest to the mean particle count
 // across ranks (1.0 is perfect balance).
 func Imbalance(r *comm.Rank, localCount int) float64 {

@@ -100,3 +100,79 @@ func TestImbalanceMetric(t *testing.T) {
 		}
 	})
 }
+
+func TestSplitWeightedBalancesSkewedWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// Heavily skewed weights: a flat floor plus a few hot spots, the shape of
+	// per-particle interaction counts in a clustered snapshot.
+	n := 5000
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	for h := 0; h < 5; h++ {
+		c := rng.Intn(n)
+		for i := c; i < c+200 && i < n; i++ {
+			weights[i] += 50
+		}
+	}
+	for _, parts := range []int{2, 4, 7, 16} {
+		bounds := SplitWeighted(weights, parts)
+		if len(bounds) != parts-1 {
+			t.Fatalf("parts=%d: got %d bounds", parts, len(bounds))
+		}
+		lo := 0
+		for _, b := range bounds {
+			if b < lo || b > n {
+				t.Fatalf("parts=%d: bound %d out of order", parts, b)
+			}
+			lo = b
+		}
+		got := ShardImbalance(weights, bounds)
+		uniformBounds := make([]int, parts-1)
+		for k := 1; k < parts; k++ {
+			uniformBounds[k-1] = k * n / parts
+		}
+		uniform := ShardImbalance(weights, uniformBounds)
+		t.Logf("parts=%d: weighted imbalance %.4f, equal-count %.4f", parts, got, uniform)
+		if got > uniform {
+			t.Errorf("parts=%d: weighted split (%.4f) worse than equal-count (%.4f)", parts, got, uniform)
+		}
+		// The greedy quantile walk can overshoot by at most the largest
+		// single weight per shard.
+		maxW := 0.0
+		total := 0.0
+		for _, w := range weights {
+			if w > maxW {
+				maxW = w
+			}
+			total += w
+		}
+		if got > 1+float64(parts)*maxW/(total/float64(parts)) {
+			t.Errorf("parts=%d: imbalance %.4f beyond the greedy bound", parts, got)
+		}
+	}
+}
+
+func TestSplitWeightedDegenerateInputs(t *testing.T) {
+	if b := SplitWeighted(nil, 4); len(b) != 3 {
+		t.Errorf("nil weights: got %v", b)
+	}
+	if b := SplitWeighted([]float64{0, 0, 0, 0}, 2); len(b) != 1 || b[0] != 2 {
+		t.Errorf("all-zero weights should fall back to equal counts: got %v", b)
+	}
+	if b := SplitWeighted([]float64{5}, 3); len(b) != 2 {
+		t.Errorf("single item: got %v", b)
+	}
+	if b := SplitWeighted([]float64{1, 2, 3}, 1); b != nil {
+		t.Errorf("parts=1: got %v", b)
+	}
+	// One giant weight: every boundary lands right after it or at the ends.
+	b := SplitWeighted([]float64{1, 1, 1000, 1, 1}, 2)
+	if b[0] != 3 {
+		t.Errorf("giant weight: boundary at %d, want 3", b[0])
+	}
+	if ShardImbalance([]float64{1, 1, 1, 1}, []int{2}) != 1 {
+		t.Errorf("even split should report imbalance 1")
+	}
+}

@@ -22,7 +22,11 @@ import (
 // then reads the cached norms concurrently.
 func (e *Expansion) FinalizeNorms() {
 	t := Table(e.P)
-	e.Norms = make([]float64, e.P+1)
+	if cap(e.Norms) >= e.P+1 {
+		e.Norms = e.Norms[:e.P+1] // every entry is overwritten below
+	} else {
+		e.Norms = make([]float64, e.P+1)
+	}
 	for n := 0; n <= e.P; n++ {
 		sum := 0.0
 		for i := t.Offset[n]; i < t.Offset[n+1]; i++ {

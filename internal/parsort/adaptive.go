@@ -1,0 +1,109 @@
+package parsort
+
+// Near-sorted fast path for the record sort.
+//
+// Warren's production runs amortize the decomposition sort across timesteps:
+// particles barely move per step, so re-keying them in the previous step's
+// sorted order yields a record array that is already almost in (key, idx)
+// order.  A full MSD radix pass gains nothing from that structure — it touches
+// every byte of every record regardless — so the incremental tree rebuild
+// routes through SortKVAdaptive instead: displaced records are peeled off the
+// sorted spine, sorted on their own, and merged back, O(n + d·log d) for d
+// displaced records.  When the disorder is too large for the fast path to pay
+// off the input is handed to the parallel radix sort unchanged.
+//
+// Both paths implement the same total order (kvLess), so the output is
+// bit-identical to SortKV whichever path runs — the property the incremental
+// build's bit-identity guarantee rests on.
+
+// AdaptiveStats reports what SortKVAdaptive did, so callers (and the step
+// benchmark) can see how sorted their input really was.
+type AdaptiveStats struct {
+	// Displaced is the number of records peeled off the sorted spine (0 for
+	// perfectly sorted input).  When FastPath is false it is the spine-scan
+	// count at which the fast path was abandoned.
+	Displaced int
+	// FastPath reports whether the displaced-merge path ran; false means the
+	// input was disordered enough to fall back to the full radix sort.
+	FastPath bool
+}
+
+// adaptiveMaxDisorder bounds the displaced fraction the fast path accepts.
+// The fast path costs three linear passes plus a radix sort of the displaced
+// records; the full radix sort costs several scatter passes over everything.
+// Up to about a quarter of the records displaced the fast path still wins —
+// clustered snapshots displace noticeably more records per unit of drift than
+// uniform ones (tiny key gaps inside the blobs), so the bound errs high.
+func adaptiveMaxDisorder(n int) int { return n / 4 }
+
+// SortKVAdaptive sorts recs exactly like SortKV but exploits pre-existing
+// order: a single scan finds the records that break the ascending spine; if
+// they are few they are extracted, sorted alone and merged back, otherwise the
+// call degrades to SortKV(recs, workers).  The scan and the merge are single
+// memory-bound passes, so they run on the calling goroutine; workers only
+// matter for the fallback.
+func SortKVAdaptive(recs []KV, workers int) AdaptiveStats {
+	n := len(recs)
+	if n < 2 {
+		return AdaptiveStats{FastPath: true}
+	}
+
+	// Pass 1: walk the array keeping a greedy ascending spine; count the
+	// records that would have to move.  A record nudged slightly out of place
+	// displaces only itself, which is the near-static workload this path is
+	// for.  The greedy spine has one pathology — a large element arriving
+	// early poisons the running maximum and displaces everything after it —
+	// and the abort threshold catches exactly that, handing the array to the
+	// radix sort before anything has been moved.
+	maxDisplaced := adaptiveMaxDisorder(n)
+	displaced := 0
+	last := recs[0]
+	for i := 1; i < n; i++ {
+		if kvLess(recs[i], last) {
+			displaced++
+			if displaced > maxDisplaced {
+				SortKV(recs, workers)
+				return AdaptiveStats{Displaced: displaced, FastPath: false}
+			}
+		} else {
+			last = recs[i]
+		}
+	}
+	if displaced == 0 {
+		return AdaptiveStats{FastPath: true}
+	}
+
+	// Pass 2: stable-compact the spine to the front of recs and collect the
+	// displaced records.  Spine elements only move left, so the compaction is
+	// safe in place and preserves their (already sorted) order.
+	buf := make([]KV, 0, displaced)
+	keep := 1
+	last = recs[0]
+	for i := 1; i < n; i++ {
+		if kvLess(recs[i], last) {
+			buf = append(buf, recs[i])
+			continue
+		}
+		last = recs[i]
+		recs[keep] = recs[i]
+		keep++
+	}
+	americanFlagKV(buf, 0)
+
+	// Pass 3: merge the spine recs[:keep] and the sorted buffer into
+	// recs[:n] from the back.  The write cursor stays strictly ahead of the
+	// unread spine suffix (w >= i+j+1 > i), so the merge is safe in place.
+	// The order is total (indices are distinct), so ties cannot occur and the
+	// result is the unique sorted sequence — bit-identical to SortKV.
+	i, j := keep-1, len(buf)-1
+	for w := n - 1; j >= 0; w-- {
+		if i >= 0 && kvLess(buf[j], recs[i]) {
+			recs[w] = recs[i]
+			i--
+		} else {
+			recs[w] = buf[j]
+			j--
+		}
+	}
+	return AdaptiveStats{Displaced: displaced, FastPath: true}
+}

@@ -1,0 +1,131 @@
+package sdf
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twohot/internal/particle"
+	"twohot/internal/vec"
+)
+
+// This file hardens the checkpoint reader the way PR 1 hardened DecodeCells:
+// a truncated or mangled checkpoint must come back as an error from Read /
+// ReadFrom, never as a panic or a runaway allocation.
+
+func validSnapshotBytes(t *testing.T, n int) []byte {
+	t.Helper()
+	set := particle.New(n)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		set.Append(
+			vec.V3{rng.Float64(), rng.Float64(), rng.Float64()},
+			vec.V3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+			1.5, int64(i))
+	}
+	snap := &Snapshot{
+		Particles:        set,
+		ScaleFac:         0.25,
+		MomentumScaleFac: 0.24,
+		BoxSize:          100,
+		Cosmology:        "planck2013",
+		Extra:            map[string]string{"step": "7", "a_init": "0.05"},
+	}
+	path := filepath.Join(t.TempDir(), "snap.sdf")
+	if err := Write(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// readBytes parses a snapshot from an in-memory byte slice.
+func readBytes(data []byte) (*Snapshot, error) {
+	return ReadFrom(bufio.NewReader(bytes.NewReader(data)))
+}
+
+func TestReadFromTruncatedAtEveryBoundary(t *testing.T) {
+	data := validSnapshotBytes(t, 20)
+	if _, err := readBytes(data); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	// Truncations across the header and at several body offsets, including
+	// mid-record cuts.
+	cuts := []int{0, 1, 10, 50, len(data) / 2, len(data) - 64, len(data) - 7, len(data) - 1}
+	for _, cut := range cuts {
+		if cut < 0 || cut >= len(data) {
+			continue
+		}
+		if _, err := readBytes(data[:cut]); err == nil {
+			t.Errorf("truncation at %d of %d bytes read successfully", cut, len(data))
+		}
+	}
+}
+
+func TestReadFromMangledHeaders(t *testing.T) {
+	data := validSnapshotBytes(t, 4)
+	text := string(data)
+	cases := map[string]string{
+		"negative-count":  strings.Replace(text, "}[4];", "}[-4];", 1),
+		"huge-count":      strings.Replace(text, "}[4];", "}[9000000000000000000];", 1),
+		"garbage-count":   strings.Replace(text, "}[4];", "}[zz];", 1),
+		"missing-count":   strings.Replace(text, "}[4];", "};", 1),
+		"unknown-layout":  strings.Replace(text, "double x, y, z;", "float q, r;", 1),
+		"no-terminator":   strings.Replace(text, headerTerminator, "# nothing\n", 1),
+		"struct-unclosed": strings.Replace(text, "}[4];", "", 1),
+	}
+	for name, mangled := range cases {
+		if _, err := readBytes([]byte(mangled)); err == nil {
+			t.Errorf("%s: mangled snapshot read successfully", name)
+		}
+	}
+}
+
+func TestReadFromRandomCorruption(t *testing.T) {
+	data := validSnapshotBytes(t, 16)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		cp := append([]byte(nil), data...)
+		// Flip a handful of bytes anywhere in the file.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			cp[rng.Intn(len(cp))] ^= byte(1 + rng.Intn(255))
+		}
+		// Must not panic; error or success are both acceptable (body bytes
+		// are raw float64s, so many flips still parse).
+		snap, err := readBytes(cp)
+		if err == nil && snap.Particles == nil {
+			t.Fatal("nil particles on successful read")
+		}
+	}
+}
+
+func FuzzReadFrom(f *testing.F) {
+	set := particle.New(2)
+	set.Append(vec.V3{0.1, 0.2, 0.3}, vec.V3{1, 2, 3}, 1, 1)
+	set.Append(vec.V3{0.4, 0.5, 0.6}, vec.V3{4, 5, 6}, 1, 2)
+	path := filepath.Join(f.TempDir(), "seed.sdf")
+	if err := Write(path, &Snapshot{Particles: set, ScaleFac: 0.5, MomentumScaleFac: 0.5, BoxSize: 1}); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte("# SDF 1.0\nstruct {\n}[1];\n# SDF-EOH\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := ReadFrom(bufio.NewReader(bytes.NewReader(data)))
+		if err == nil && snap == nil {
+			t.Fatal("nil snapshot without error")
+		}
+	})
+}

@@ -172,6 +172,9 @@ func ReadFrom(r *bufio.Reader) (*Snapshot, error) {
 					if err != nil {
 						return nil, fmt.Errorf("sdf: bad particle count: %w", err)
 					}
+					if n < 0 {
+						return nil, fmt.Errorf("sdf: negative particle count %d", n)
+					}
 					h.NBody = n
 					break
 				}
@@ -203,7 +206,15 @@ func ReadFrom(r *bufio.Reader) (*Snapshot, error) {
 		}
 	}
 
-	s := &Snapshot{Particles: particle.New(int(h.NBody)), Extra: map[string]string{}}
+	// Preallocate conservatively: a corrupt header can claim any particle
+	// count, and nothing before this point has validated it against the
+	// actual body length.  The append loop below grows as needed and fails
+	// cleanly on a truncated body.
+	prealloc := h.NBody
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	s := &Snapshot{Particles: particle.New(int(prealloc)), Extra: map[string]string{}}
 	if v, ok := h.Float("a"); ok {
 		s.ScaleFac = v
 	}

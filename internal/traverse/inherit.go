@@ -45,6 +45,7 @@ import (
 	"sync"
 
 	"twohot/internal/cube"
+	"twohot/internal/domain"
 	"twohot/internal/multipole"
 	"twohot/internal/softening"
 	"twohot/internal/tree"
@@ -72,6 +73,10 @@ type TraversalStats struct {
 	// InheritedItems counts decided work-list entries that sink leaves
 	// consumed without any acceptance test.
 	InheritedItems int64
+	// ShardImbalance is the max/mean predicted shard weight of the static
+	// work-weighted schedule (1.0 is perfect); 0 when the dynamic schedule
+	// ran (no SinkWork, or a single worker).
+	ShardImbalance float64
 }
 
 func (s *TraversalStats) add(o TraversalStats) {
@@ -172,20 +177,6 @@ type sinkBounds struct {
 // decisions inside the slack are identical at both ends.
 const boundSlack = 1e-12
 
-func growF(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
-}
-
-func growI(s []int32, n int) []int32 {
-	if cap(s) < n {
-		return make([]int32, n)
-	}
-	return s[:n]
-}
-
 // buildSinkBounds fills sb for every cell reachable from the root without
 // crossing a remote cell.  Leaves use the exact body radius (the same
 // sinkRadius the legacy path uses for its groups); interior cells combine
@@ -194,9 +185,9 @@ func growI(s []int32, n int) []int32 {
 func (w *Walker) buildSinkBounds(sb *sinkBounds) {
 	t := w.Tree
 	n := len(t.Cell)
-	sb.r = growF(sb.r, n)
-	sb.u = growF(sb.u, n)
-	sb.leaves = growI(sb.leaves, n)
+	tree.GrowSlice(&sb.r, n)
+	tree.GrowSlice(&sb.u, n)
+	tree.GrowSlice(&sb.leaves, n)
 	var rec func(idx int32)
 	rec = func(idx int32) {
 		c := t.Cell[idx]
@@ -334,11 +325,32 @@ func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
 		stats = ws.stats
 	} else {
 		tasks := w.collectTasks(init, nWorkers)
-		next := make(chan int, len(tasks))
-		for i := range tasks {
-			next <- i
+		// Schedule: with per-particle work weights the tasks are cut into
+		// contiguous per-worker shards of near-equal predicted weight (the
+		// work-feedback rebalance); otherwise workers pull tasks
+		// dynamically.  Either way every task runs exactly once and writes
+		// a disjoint particle range, so the two schedules produce the same
+		// bits.
+		var shard func(wk int) (int, int)
+		var next chan int
+		if bounds := w.shardBounds(tasks, nWorkers, &stats); bounds != nil {
+			shard = func(wk int) (int, int) {
+				lo, hi := 0, len(tasks)
+				if wk > 0 {
+					lo = bounds[wk-1]
+				}
+				if wk < len(bounds) {
+					hi = bounds[wk]
+				}
+				return lo, hi
+			}
+		} else {
+			next = make(chan int, len(tasks))
+			for i := range tasks {
+				next <- i
+			}
+			close(next)
 		}
-		close(next)
 		var mu sync.Mutex
 		var wg sync.WaitGroup
 		for wk := 0; wk < nWorkers; wk++ {
@@ -346,17 +358,25 @@ func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
 			ws.counters = Counters{}
 			ws.stats = TraversalStats{}
 			wg.Add(1)
-			go func(ws *inheritWS) {
+			go func(wk int, ws *inheritWS) {
 				defer wg.Done()
-				for ti := range next {
-					tk := &tasks[ti]
-					w.descend(tk.sink, tk.depth, &tk.wl, ws, acc, pot)
+				if shard != nil {
+					lo, hi := shard(wk)
+					for ti := lo; ti < hi; ti++ {
+						tk := &tasks[ti]
+						w.descend(tk.sink, tk.depth, &tk.wl, ws, acc, pot)
+					}
+				} else {
+					for ti := range next {
+						tk := &tasks[ti]
+						w.descend(tk.sink, tk.depth, &tk.wl, ws, acc, pot)
+					}
 				}
 				mu.Lock()
 				total.Add(ws.counters)
 				stats.add(ws.stats)
 				mu.Unlock()
-			}(ws)
+			}(wk, ws)
 		}
 		wg.Wait()
 	}
@@ -364,6 +384,30 @@ func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
 	w.postProcess(acc, pot, nWorkers)
 	w.LastStats = stats
 	return acc, pot, total
+}
+
+// shardBounds computes the static work-weighted task partition: each task is
+// weighted by the summed SinkWork of the particles under its sink subtree and
+// the task sequence (which is in sink-tree DFS order, i.e. contiguous in the
+// sorted particle arrays) is split into nWorkers contiguous shards of
+// near-equal weight.  It returns nil — meaning "use the dynamic schedule" —
+// when no usable weights are present.
+func (w *Walker) shardBounds(tasks []inheritTask, nWorkers int, stats *TraversalStats) []int {
+	if w.SinkWork == nil || len(w.SinkWork) != len(w.Tree.Pos) || len(tasks) < 2 {
+		return nil
+	}
+	weights := make([]float64, len(tasks))
+	for i := range tasks {
+		c := w.Tree.Cell[tasks[i].sink]
+		sum := 0.0
+		for p := c.First; p < c.First+c.NBodies; p++ {
+			sum += w.SinkWork[p]
+		}
+		weights[i] = sum
+	}
+	bounds := domain.SplitWeighted(weights, nWorkers)
+	stats.ShardImbalance = domain.ShardImbalance(weights, bounds)
+	return bounds
 }
 
 // collectTasks runs the top of the sink descent sequentially, refining the
@@ -586,6 +630,15 @@ func (w *Walker) applyGroup(g sinkGroup, al *applyLists, ws *inheritWS, acc []ve
 	ws.counters.SinkCells++
 	ws.counters.Sinks += int64(g.count)
 	m := g.count
+	if w.WorkOut != nil {
+		// Every sink of the group consumes the same lists, so its work is
+		// the group's list length: far cells + direct sources + background
+		// cubes (summed over sinks this reproduces the step's counters).
+		gw := float64(len(al.cells)) + float64(len(al.srcX)) + float64(len(al.bgBoxes))
+		for s := 0; s < m; s++ {
+			w.WorkOut[g.first+s] = gw
+		}
+	}
 	ws.ensureGroup(m, multipole.ScratchSize(t.Opt.Order))
 	accB := ws.accBuf[:m]
 	potB := ws.potBuf[:m]

@@ -135,6 +135,21 @@ type Walker struct {
 	Tree *tree.Tree
 	Cfg  Config
 
+	// SinkWork, when non-nil with one weight per (sorted) particle, makes
+	// ForcesForAll partition its sink subtree tasks into contiguous
+	// per-worker shards of near-equal predicted weight using
+	// domain.SplitWeighted — the shared-memory analogue of the paper's
+	// work-weighted domain decomposition, fed by the previous step's
+	// per-particle interaction counts.  Tasks write disjoint particle
+	// ranges, so the results are bit-identical to the dynamic schedule;
+	// only which goroutine computes what changes.
+	SinkWork []float64
+	// WorkOut, when non-nil with one slot per (sorted) particle, receives
+	// each particle's interaction count (far cells + direct pairs +
+	// background cubes) — the work feedback the next step's shards and the
+	// distributed decomposition rebalance on.
+	WorkOut []float64
+
 	// LastStats describes the traversal-internal work of the most recent
 	// ForcesForAll or ForcesForAllLegacy call (list reuse, frontier size);
 	// it is bookkeeping about how the lists were built, not physics, so it
@@ -175,6 +190,26 @@ func NewWalker(t *tree.Tree, cfg Config) *Walker {
 		w.offsets = []vec.V3{{0, 0, 0}}
 	}
 	return w
+}
+
+// ResetTree points an existing walker at a freshly built tree, retaining
+// everything that does not depend on the particle distribution: the replica
+// offsets, the far-lattice sums (NewLattice is the expensive part of walker
+// construction) and the pooled per-worker traversal buffers.  cfg replaces
+// the walker's Config and must agree with the original on the fields the
+// retained state was derived from — Periodic, BoxSize, WS, LatticeOrder and
+// LatticeShell; scalar fields (AccTol, G, kernel) may change freely.  The
+// box-summed local expansion is recomputed from the new tree's root moments,
+// so a traversal after ResetTree is bit-identical to one on a freshly
+// constructed walker.
+func (w *Walker) ResetTree(t *tree.Tree, cfg Config) {
+	cfg.defaults()
+	w.Tree = t
+	w.Cfg = cfg
+	if w.lattice != nil {
+		w.local = multipole.NewLocal(cfg.LatticeOrder, t.Root().Exp.Center)
+		w.local.AddM2L(t.Root().Exp, w.lattice.T)
+	}
 }
 
 // interactionList is the per-sink-cell gathering of work.
@@ -343,6 +378,12 @@ func (w *Walker) forcesForGroup(g sinkGroup, il *interactionList, scratch []floa
 		w.gather(t.Root(), off, g, il)
 	}
 
+	if w.WorkOut != nil {
+		gw := float64(len(il.cells)) + float64(len(il.srcPos)) + float64(len(il.bgBoxes))
+		for i := g.first; i < g.first+g.count; i++ {
+			w.WorkOut[i] = gw
+		}
+	}
 	for i := g.first; i < g.first+g.count; i++ {
 		a, p := w.applyList(t.Pos[i], il, scratch, counters)
 		acc[i] = acc[i].Add(a)

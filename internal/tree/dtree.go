@@ -135,7 +135,101 @@ func (d *Distributed) AddRemoteCell(c Cell) {
 // (local and remote) and computes their moments by shifting the branch
 // moments upward (M2M).  It must be called after all branch cells have been
 // inserted.  Upper cells are owned by no rank and never require fetching.
+//
+// The pass runs level by level from the deepest cell upward: a parallel scan
+// classifies every cell of the level as linked (parent already in the table)
+// or orphaned, parents for the orphans are created serially in cell-index
+// order (deterministic, unlike the map-ordered serial reference), and the new
+// parents' moments are computed in a parallel pass — each parent's expansion
+// touches only its own storage and its (finished) children.  One cell is
+// visited once per level it sits on, replacing the serial reference's
+// repeated whole-table rounds, which rescanned every cell once per remaining
+// orphan level.  buildUpperSerial keeps the reference implementation; the
+// regression suite in dtree_upper_test.go pins the two to each other.
 func (d *Distributed) BuildUpper() {
+	workers := d.Opt.workerCount()
+	maxLevel := 0
+	for _, c := range d.Cell {
+		if c.Level > maxLevel {
+			maxLevel = c.Level
+		}
+	}
+	byLevel := make([][]int32, maxLevel+1)
+	for i, c := range d.Cell {
+		byLevel[c.Level] = append(byLevel[c.Level], int32(i))
+	}
+	for l := maxLevel; l >= 1; l-- {
+		cells := byLevel[l]
+		if len(cells) == 0 {
+			continue
+		}
+		// Parallel scan: resolve each cell's parent in the hash table
+		// (read-only; all writes happen below on the calling goroutine).
+		parentIdx := make([]int32, len(cells))
+		parallelChunks(len(cells), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c := d.Cell[cells[i]]
+				if pi, ok := d.Hash.Get(c.Key.Parent()); ok {
+					parentIdx[i] = pi
+				} else {
+					parentIdx[i] = NoChild
+				}
+			}
+		})
+		// Serial: record links into existing parents and group the orphans
+		// by parent key, preserving cell-index order within each group (the
+		// summation order of the serial reference's moment pass).
+		type orphanGroup struct {
+			key      keys.Key
+			children []int32
+		}
+		var groups []orphanGroup
+		groupOf := map[keys.Key]int{}
+		for i, ci := range cells {
+			c := d.Cell[ci]
+			if pi := parentIdx[i]; pi != NoChild {
+				p := d.Cell[pi]
+				oct := c.Key.Octant()
+				if p.ChildIdx[oct] == NoChild {
+					p.ChildIdx[oct] = ci
+					p.ChildMask |= 1 << uint(oct)
+				}
+				continue
+			}
+			pk := c.Key.Parent()
+			gi, ok := groupOf[pk]
+			if !ok {
+				gi = len(groups)
+				groups = append(groups, orphanGroup{key: pk})
+				groupOf[pk] = gi
+			}
+			groups[gi].children = append(groups[gi].children, ci)
+		}
+		if len(groups) == 0 {
+			continue
+		}
+		// Serial: append the parent shells (cell array and hash mutations).
+		created := make([]int32, len(groups))
+		for gi := range groups {
+			idx := d.createUpperShell(groups[gi].key, groups[gi].children)
+			created[gi] = idx
+			byLevel[l-1] = append(byLevel[l-1], idx)
+		}
+		// Parallel: the new parents' moments.  Children are finished — they
+		// are either original cells or parents created (and summed) one
+		// level deeper — and each computation writes only its own cell.
+		parallelChunks(len(groups), workers, func(lo, hi int) {
+			for gi := lo; gi < hi; gi++ {
+				d.upperMoments(d.Cell[created[gi]], groups[gi].children)
+			}
+		})
+	}
+}
+
+// buildUpperSerial is the original round-based reference implementation of
+// BuildUpper, kept verbatim so the regression suite can pin the parallel
+// level pass to it.
+func (d *Distributed) buildUpperSerial() {
 	// Gather all cells that currently have no parent in the table, deepest
 	// first.
 	for {
@@ -184,7 +278,18 @@ func (d *Distributed) BuildUpper() {
 	}
 }
 
+// createUpperCell creates one shared upper cell complete with moments; the
+// serial reference path uses it round by round.
 func (d *Distributed) createUpperCell(key keys.Key, children []int32) {
+	idx := d.createUpperShell(key, children)
+	d.upperMoments(d.Cell[idx], children)
+}
+
+// createUpperShell appends the metadata of a shared upper cell — child links,
+// body count, hash entry — leaving the moments for upperMoments.  All cell
+// array and hash mutations of BuildUpper funnel through here, on the calling
+// goroutine.
+func (d *Distributed) createUpperShell(key keys.Key, children []int32) int32 {
 	box := key.CellBox(d.Box)
 	c := Cell{
 		Key:    key,
@@ -196,13 +301,33 @@ func (d *Distributed) createUpperCell(key keys.Key, children []int32) {
 	for i := range c.ChildIdx {
 		c.ChildIdx[i] = NoChild
 	}
-	e := multipole.NewExpansion(d.Opt.Order, c.Center)
 	n := 0
 	for _, ci := range children {
 		child := d.Cell[ci]
 		oct := child.Key.Octant()
 		c.ChildIdx[oct] = ci
 		c.ChildMask |= 1 << uint(oct)
+		n += child.NBodies
+	}
+	c.NBodies = n
+	idx := int32(len(d.Cell))
+	d.Cell = append(d.Cell, &c)
+	d.Hash.Put(key, idx)
+	if key == keys.RootKey {
+		d.RootIdx = idx
+	}
+	return idx
+}
+
+// upperMoments shifts the children's moments up to the shared upper cell c,
+// in the given child order — the exact arithmetic sequence of the serial
+// reference, so the two BuildUpper implementations agree bit for bit.  It
+// reads shared tree state and finished children and writes only c.Exp, so
+// concurrent calls on distinct cells are safe.
+func (d *Distributed) upperMoments(c *Cell, children []int32) {
+	e := multipole.NewExpansion(d.Opt.Order, c.Center)
+	for _, ci := range children {
+		child := d.Cell[ci]
 		raw := child.Exp
 		if d.bgByLevel != nil {
 			raw = cloneMinusBackground(child.Exp, d.bgByLevel[child.Level])
@@ -210,18 +335,10 @@ func (d *Distributed) createUpperCell(key keys.Key, children []int32) {
 		shift := multipole.NewExpansion(d.Opt.Order, c.Center)
 		shift.AddShifted(raw)
 		e.AddExpansion(shift)
-		n += child.NBodies
 	}
-	c.NBodies = n
-	d.addBackground(e, &c)
+	d.addBackground(e, c)
 	e.FinalizeNorms()
 	c.Exp = e
-	idx := int32(len(d.Cell))
-	d.Cell = append(d.Cell, &c)
-	d.Hash.Put(key, idx)
-	if key == keys.RootKey {
-		d.RootIdx = idx
-	}
 }
 
 // ChildrenOf returns the (local) children of the cell with the given key, for

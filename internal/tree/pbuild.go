@@ -4,10 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"twohot/internal/keys"
 	"twohot/internal/parsort"
-	"twohot/internal/vec"
 )
 
 // This file implements the parallel build pipeline behind Build and
@@ -29,6 +29,18 @@ import (
 // only on the sorted keys, and stage 5 computes each cell's moments from
 // already-finished children with the same code the serial build uses.  The
 // equivalence suite in build_equiv_test.go pins this bit-for-bit.
+
+// GrowSlice resizes a pooled buffer to length n, reallocating only when the
+// capacity is exhausted.  Contents are unspecified (callers overwrite every
+// element).  Shared by the build scratch here and the solver's persistent
+// staging buffers in internal/core.
+func GrowSlice[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
 
 // workerCount resolves Options.Workers (0 = GOMAXPROCS).
 func (o *Options) workerCount() int {
@@ -64,23 +76,69 @@ func parallelChunks(n, workers int, body func(lo, hi int)) {
 // sortParticles computes body keys for t.Pos and reorders t.Pos/t.Mass in
 // place into canonical (key, original index) order, filling t.Keys and
 // t.SortIndex.  All stages run over parallel chunks.
-func (t *Tree) sortParticles(workers int) {
+//
+// When Options.Previous carries a compatible prior tree, the records are
+// emitted in that tree's sorted order instead of array order: record slot i
+// re-keys the particle that ended up in sorted slot i last step, so on a
+// near-static snapshot the array is already almost in (key, index) order and
+// SortKVAdaptive's merge path replaces the radix sort.  Each record still
+// carries the particle's index in the caller's ordering, so the sorted record
+// sequence — a total order over (key, caller index) — is exactly the one the
+// from-scratch path produces, and everything built from it is bit-identical.
+func (t *Tree) sortParticles(workers int) (*BuildScratch, int) {
 	n := len(t.Pos)
-	recs := make([]parsort.KV, n)
-	parallelChunks(n, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			recs[i] = parsort.KV{
-				Key: uint64(keys.FromPosition(t.Pos[i], t.Box, keys.Morton)),
-				Idx: int32(i),
+	sc := t.Opt.Scratch
+	t.Opt.Scratch = nil // the tree must not retain the caller's scratch
+	if sc == nil {
+		sc = &BuildScratch{} // throwaway: plain allocations, nothing pooled
+	}
+	side := sc.flip
+	sc.flip ^= 1
+	recs := GrowSlice(&sc.recs, n)
+	prev := t.Opt.Previous
+	t.Opt.Previous = nil // never retain a chain of previous trees
+	if prev != nil && len(prev.SortIndex) == n {
+		order := prev.SortIndex
+		// Key linearly (sequential reads of the fat position array), then
+		// permute only the 8-byte keys into the previous order; permuting
+		// during keying would turn every 24-byte position read into a cache
+		// miss and hand back most of what the fast sort path saves.  keyTmp
+		// borrows this build's retained key array — every record holds its
+		// own key copy by the time the gather below overwrites it.
+		keyTmp := GrowSlice(&sc.keys[side], n)
+		parallelChunks(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				keyTmp[i] = uint64(keys.FromPosition(t.Pos[i], t.Box, keys.Morton))
 			}
-		}
-	})
-	parsort.SortKV(recs, workers)
+		})
+		parallelChunks(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				j := order[i]
+				recs[i] = parsort.KV{Key: keyTmp[j], Idx: int32(j)}
+			}
+		})
+		t0 := time.Now()
+		st := parsort.SortKVAdaptive(recs, workers)
+		t.Stats = BuildStats{Reused: true, FastPath: st.FastPath, Displaced: st.Displaced,
+			SortTime: time.Since(t0)}
+	} else {
+		parallelChunks(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				recs[i] = parsort.KV{
+					Key: uint64(keys.FromPosition(t.Pos[i], t.Box, keys.Morton)),
+					Idx: int32(i),
+				}
+			}
+		})
+		t0 := time.Now()
+		parsort.SortKV(recs, workers)
+		t.Stats = BuildStats{SortTime: time.Since(t0)}
+	}
 
-	newPos := make([]vec.V3, n)
-	newMass := make([]float64, n)
-	newKeys := make([]uint64, n)
-	idx := make([]int, n)
+	newPos := GrowSlice(&sc.gpos, n)
+	newMass := GrowSlice(&sc.gmass, n)
+	newKeys := GrowSlice(&sc.keys[side], n)
+	idx := GrowSlice(&sc.idx[side], n)
 	parallelChunks(n, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			r := recs[i]
@@ -96,6 +154,7 @@ func (t *Tree) sortParticles(workers int) {
 	})
 	t.Keys = newKeys
 	t.SortIndex = idx
+	return sc, side
 }
 
 // buildRange constructs the subtree covering the key-sorted particle range

@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"twohot/internal/cube"
 	"twohot/internal/keys"
 	"twohot/internal/multipole"
+	"twohot/internal/parsort"
 	"twohot/internal/vec"
 )
 
@@ -65,6 +67,119 @@ type Options struct {
 	// 0 means GOMAXPROCS; 1 forces the serial reference build.  The built
 	// tree is bit-identical for every worker count.
 	Workers int
+	// Previous, when non-nil, seeds the incremental rebuild: particles are
+	// re-keyed in the previous tree's sorted record order, so on a
+	// near-static snapshot the record array arrives almost sorted and the
+	// near-sorted fast path of parsort.SortKVAdaptive replaces the full
+	// radix sort.  The previous order is a pure performance hint — the sort
+	// order is total, so the built tree is bit-identical to a from-scratch
+	// build no matter how stale (or wrong) Previous is.  Previous must
+	// describe the same particle count; anything else disables the reuse.
+	// Build clears this field on the new tree so retained trees never chain.
+	Previous *Tree
+	// Scratch, when non-nil, supplies reusable allocations for the sort and
+	// gather stages of the build (see BuildScratch).  Passing the same
+	// scratch to successive builds transfers ownership of the retained
+	// key/index arrays between them: only the two most recent trees built
+	// from one scratch stay valid, older ones see their Keys/SortIndex
+	// overwritten.  The stepping pipeline, which keeps exactly the previous
+	// step's tree, satisfies that contract; callers that retain more trees
+	// must not share a scratch.
+	Scratch *BuildScratch
+}
+
+// BuildScratch pools the large transient slices of the build pipeline — the
+// sort records and the gather staging buffers — plus double buffers for the
+// storage the built tree retains: the sorted key/index arrays, the cell
+// structs and the per-cell expansions.  A steady-state near-static step
+// allocates almost nothing.  The zero value is ready to use; the first build
+// through a scratch sizes the retained arenas for the ones after it.
+type BuildScratch struct {
+	recs  []parsort.KV
+	gpos  []vec.V3
+	gmass []float64
+	// Double-buffered retained storage: build k hands out side k%2, so the
+	// previous build's tree (side (k-1)%2) stays fully intact while it
+	// seeds the incremental sort.
+	keys  [2][]uint64
+	idx   [2][]int
+	cells [2][]Cell
+	exps  [2]*multipole.ExpansionArena
+	flip  int
+	// cellEstimate is the cell count of the most recent build, used to size
+	// the retained arenas of the next one.
+	cellEstimate int
+}
+
+// retainedAlloc is the per-build view of the scratch's retained-storage side:
+// cell slots and expansions are handed out sequentially, falling back to the
+// heap when the side's capacity (sized from the previous build) runs out.
+// Only the serial build path allocates through it; parallel arena tasks keep
+// their private allocations.
+type retainedAlloc struct {
+	cells []Cell
+	used  int
+	exps  *multipole.ExpansionArena
+}
+
+func (a *retainedAlloc) newCell() *Cell {
+	if a == nil || a.used >= len(a.cells) {
+		return &Cell{}
+	}
+	c := &a.cells[a.used]
+	a.used++
+	*c = Cell{}
+	return c
+}
+
+// allocCell returns storage for one cell (pooled when a scratch side is
+// active, heap otherwise).
+func (t *Tree) allocCell() *Cell { return t.alloc.newCell() }
+
+// newExpansion returns a zeroed expansion of the tree's order (pooled when a
+// scratch side is active).
+func (t *Tree) newExpansion(center vec.V3) *multipole.Expansion {
+	if t.alloc != nil && t.alloc.exps != nil {
+		return t.alloc.exps.Alloc(center)
+	}
+	return multipole.NewExpansion(t.Opt.Order, center)
+}
+
+// attachRetained prepares the scratch's next retained side for this build,
+// growing the arenas to fit the previous build's cell count (with slack).
+// nEstimate <= 0 leaves the arenas empty (first build through the scratch:
+// everything falls back to the heap, and the count observed sizes the side
+// for the build after next).
+func (t *Tree) attachRetained(sc *BuildScratch, side, nEstimate int) {
+	if nEstimate > 0 {
+		want := nEstimate + nEstimate/4 + 64
+		if cap(sc.cells[side]) < want {
+			sc.cells[side] = make([]Cell, want)
+		}
+		if sc.exps[side] == nil || sc.exps[side].Cap() < want || sc.exps[side].Order() != t.Opt.Order {
+			sc.exps[side] = multipole.NewExpansionArena(t.Opt.Order, want)
+		}
+		sc.exps[side].Reset()
+		t.alloc = &retainedAlloc{cells: sc.cells[side][:cap(sc.cells[side])], exps: sc.exps[side]}
+		return
+	}
+	t.alloc = nil
+}
+
+// BuildStats reports how a build's sort phase ran (see Options.Previous).
+type BuildStats struct {
+	// Reused is true when a previous tree's sorted order seeded the re-key.
+	Reused bool
+	// FastPath is true when the near-sorted merge path sorted the records
+	// (always false for from-scratch builds).
+	FastPath bool
+	// Displaced is the number of sort records that had left the previous
+	// order (the disorder the fast path absorbed or aborted on).
+	Displaced int
+	// SortTime is the wall-clock of the record sort alone — the stage the
+	// incremental fast path replaces — so the step benchmark can compare
+	// the two strategies on exactly the work that differs between them.
+	SortTime time.Duration
 }
 
 func (o *Options) defaults() {
@@ -91,6 +206,14 @@ type Tree struct {
 	// SortIndex maps sorted particle slot -> index in the caller's original
 	// ordering, so solvers can scatter results back.
 	SortIndex []int
+
+	// Stats describes how the sort phase of this build ran (incremental
+	// reuse, near-sorted fast path).
+	Stats BuildStats
+
+	// alloc is the transient retained-storage allocator of the current
+	// build (nil outside serial scratch-backed builds).
+	alloc *retainedAlloc
 
 	// Background moments per level (index = level), present when RhoBar>0.
 	bgByLevel []*multipole.Expansion
@@ -136,13 +259,21 @@ func Build(pos []vec.V3, mass []float64, box vec.Box, opt Options) (*Tree, error
 		Mass: mass,
 	}
 	workers := opt.workerCount()
-	t.sortParticles(workers)
+	sc, side := t.sortParticles(workers)
 
 	if opt.RhoBar > 0 {
 		t.buildBackgroundMoments()
 	}
 
+	// The serial path allocates its retained cell and expansion storage
+	// from the scratch side the sorted arrays came from; the parallel path
+	// keeps per-task allocations (concurrent arenas would need locking).
+	if workers <= 1 {
+		t.attachRetained(sc, side, sc.cellEstimate)
+	}
 	t.RootIdx = t.buildRange(keys.RootKey, 0, len(pos), workers)
+	t.alloc = nil
+	sc.cellEstimate = len(t.Cell)
 	return t, nil
 }
 
@@ -194,9 +325,10 @@ func (t *Tree) newCell(key keys.Key, first, count int) Cell {
 // and returns its index.
 func (t *Tree) buildCell(key keys.Key, first, count int) int32 {
 	level := key.Level()
-	c := t.newCell(key, first, count)
+	cp := t.allocCell()
+	*cp = t.newCell(key, first, count)
 	idx := int32(len(t.Cell))
-	t.Cell = append(t.Cell, &c)
+	t.Cell = append(t.Cell, cp)
 	t.Hash.Put(key, idx)
 
 	if count <= t.Opt.LeafSize || level >= keys.MaxDepth {
@@ -234,7 +366,7 @@ func (t *Tree) computeLeafMoments(idx int32) { t.leafMoments(t.Cell[idx]) }
 // range.  It only reads shared tree state, so concurrent calls on distinct
 // cells are safe.
 func (t *Tree) leafMoments(c *Cell) {
-	e := multipole.NewExpansion(t.Opt.Order, c.Center)
+	e := t.newExpansion(c.Center)
 	for i := c.First; i < c.First+c.NBodies; i++ {
 		e.AddParticle(t.Pos[i], t.Mass[i])
 	}
@@ -258,7 +390,7 @@ func (t *Tree) computeInternalMoments(idx int32) {
 // the arithmetic are shared by the serial build, the arena builds and the
 // stitched upper-cell pass, which keeps every path bit-identical.
 func (t *Tree) internalMoments(c *Cell, childAt func(oct int) *Cell) {
-	e := multipole.NewExpansion(t.Opt.Order, c.Center)
+	e := t.newExpansion(c.Center)
 	for oct := 0; oct < 8; oct++ {
 		child := childAt(oct)
 		if child == nil {

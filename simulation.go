@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"strconv"
 
 	"twohot/internal/core"
 	"twohot/internal/cosmo"
@@ -32,6 +33,12 @@ type Simulation struct {
 	// the restart to stay second-order accurate (Section 2.3).
 	A    float64
 	AMom float64
+
+	// AInit is the scale factor at which the particle load was installed.
+	// Run anchors its logarithmic step grid here (not at the current
+	// epoch), and checkpoints carry it, so a restarted run continues on
+	// exactly the grid the uninterrupted run would have used.
+	AInit float64
 
 	StepCount int
 
@@ -80,6 +87,7 @@ func (s *Simulation) buildSolvers() {
 		WS:                    cfg.WS,
 		LatticeOrder:          cfg.LatticeOrder,
 		Workers:               cfg.Workers,
+		Incremental:           cfg.Incremental,
 	})
 	mesh := cfg.PMGrid
 	if mesh == 0 {
@@ -134,7 +142,9 @@ func (s *Simulation) GenerateICs() error {
 	s.P = set
 	s.A = parts.A
 	s.AMom = parts.A
+	s.AInit = parts.A
 	s.StepCount = 0
+	s.treeSolver.ResetReuse()
 	return nil
 }
 
@@ -144,11 +154,25 @@ func (s *Simulation) SetParticles(set *particle.Set, a float64) {
 	s.P = set
 	s.A = a
 	s.AMom = a
+	s.AInit = a
 	s.StepCount = 0
+	s.treeSolver.ResetReuse()
 }
 
 // Accelerations computes comoving accelerations for the current particle
 // positions with the configured solver.
+//
+// The tree path is the stepping pipeline of the paper: each solve feeds the
+// next one — the sorted particle order seeds the next incremental tree
+// rebuild and the per-particle interaction counts rebalance the next solve's
+// worker shards (or, with Cfg.Ranks > 1, the next distributed domain
+// decomposition).  All of this state rides on the Simulation and its solver;
+// none of it changes a single result bit.
+//
+// With Cfg.Ranks > 1 the particle set is regrouped by owning rank in place:
+// positions, momenta, accelerations and work travel together, so stepping
+// continues transparently, but callers holding on to a prior particle
+// ordering must match by ID.
 func (s *Simulation) Accelerations() ([]vec.V3, error) {
 	if s.P == nil {
 		return nil, fmt.Errorf("twohot: no particles loaded")
@@ -169,13 +193,45 @@ func (s *Simulation) Accelerations() ([]vec.V3, error) {
 		s.LastForce = res
 		return res.Acc, nil
 	default:
-		res, err := s.treeSolver.Forces(s.P.Pos, s.P.Mass)
+		if s.Cfg.Ranks > 1 {
+			return s.accelerationsDistributed()
+		}
+		res, err := s.treeSolver.ForcesWithWork(s.P.Pos, s.P.Mass, s.P.Work)
 		if err != nil {
 			return nil, err
 		}
 		s.LastForce = res
+		copy(s.P.Acc, res.Acc)
+		copy(s.P.Pot, res.Pot)
+		copy(s.P.Work, res.Work)
 		return res.Acc, nil
 	}
+}
+
+// accelerationsDistributed runs one force solve through the message-passing
+// DistributedStep pipeline on Cfg.Ranks in-process ranks.  The domain
+// decomposition balances the per-particle work recorded by the previous
+// step (carried in s.P.Work across the particle exchange), which is the
+// paper's cross-step amortization: domains track the evolving mass — and
+// work — distribution instead of being recut blindly.
+func (s *Simulation) accelerationsDistributed() ([]vec.V3, error) {
+	res, err := core.DistributedStep(s.P, core.DistributedConfig{
+		Tree:           s.treeSolver.Cfg,
+		NRanks:         s.Cfg.Ranks,
+		BranchExchange: "ring",
+		UseWorkWeights: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.P = res.ParticlesOut
+	s.LastForce = &core.Result{
+		Acc:      s.P.Acc,
+		Pot:      s.P.Pot,
+		Counters: res.Counters,
+		Timings:  res.Timings,
+	}
+	return s.P.Acc, nil
 }
 
 // StepOnce advances the simulation by one kick-drift step of size dlnA using
@@ -239,9 +295,12 @@ func (s *Simulation) Synchronize() error {
 	return nil
 }
 
-// Run evolves the simulation from its current epoch to z_final in
-// Cfg.NSteps equal logarithmic steps, calling progress (if non-nil) after
-// every step.
+// Run evolves the simulation to z_final in Cfg.NSteps equal logarithmic
+// steps, calling progress (if non-nil) after every step.  The step grid is
+// anchored at the epoch the particle load was installed (AInit) and offset by
+// StepCount, both of which checkpoints preserve — so a run restored mid-way
+// finishes the remaining steps of the original grid, reproducing the
+// uninterrupted run bit for bit.
 func (s *Simulation) Run(progress func(step int, z float64)) error {
 	if s.P == nil {
 		if err := s.GenerateICs(); err != nil {
@@ -249,8 +308,21 @@ func (s *Simulation) Run(progress func(step int, z float64)) error {
 		}
 	}
 	aFinal := 1 / (1 + s.Cfg.ZFinal)
-	dlnA := math.Log(aFinal/s.A) / float64(s.Cfg.NSteps)
-	for step := 0; step < s.Cfg.NSteps && s.A < aFinal-1e-12; step++ {
+	if s.StepCount >= s.Cfg.NSteps {
+		// The previous grid is complete (e.g. a staged run that lowered
+		// ZFinal and called Run again): start a fresh NSteps grid from the
+		// current epoch instead of silently doing nothing.
+		s.AInit = s.A
+		s.StepCount = 0
+	}
+	aStart := s.AInit
+	if aStart == 0 {
+		// Pre-AInit state (old checkpoint): anchor at the current epoch.
+		aStart = s.A
+		s.AInit = aStart
+	}
+	dlnA := math.Log(aFinal/aStart) / float64(s.Cfg.NSteps)
+	for step := s.StepCount; step < s.Cfg.NSteps && s.A < aFinal-1e-12; step++ {
 		if err := s.StepOnce(dlnA); err != nil {
 			return err
 		}
@@ -346,8 +418,9 @@ func (s *Simulation) Snapshot() *sdf.Snapshot {
 		BoxSize:          s.Cfg.BoxSize,
 		Cosmology:        s.Cfg.Cosmology,
 		Extra: map[string]string{
-			"name": s.Cfg.Name,
-			"step": fmt.Sprintf("%d", s.StepCount),
+			"name":   s.Cfg.Name,
+			"step":   fmt.Sprintf("%d", s.StepCount),
+			"a_init": strconv.FormatFloat(s.AInit, 'g', 17, 64),
 		},
 	}
 }
@@ -358,7 +431,9 @@ func (s *Simulation) WriteCheckpoint(path string) error {
 	return sdf.Write(path, s.Snapshot())
 }
 
-// RestoreCheckpoint loads a checkpoint previously written by WriteCheckpoint.
+// RestoreCheckpoint loads a checkpoint previously written by WriteCheckpoint,
+// including the step counter and the step-grid anchor, so a subsequent Run
+// continues the original integration rather than starting a fresh grid.
 func (s *Simulation) RestoreCheckpoint(path string) error {
 	snap, err := sdf.Read(path)
 	if err != nil {
@@ -370,6 +445,25 @@ func (s *Simulation) RestoreCheckpoint(path string) error {
 	if snap.BoxSize > 0 {
 		s.Cfg.BoxSize = snap.BoxSize
 	}
+	if v, err := strconv.ParseFloat(snap.Extra["a_init"], 64); err == nil && v > 0 {
+		s.AInit = v
+		if n, err := strconv.Atoi(snap.Extra["step"]); err == nil && n >= 0 {
+			s.StepCount = n
+		} else {
+			s.StepCount = 0
+		}
+	} else {
+		// Checkpoint without a step-grid anchor (written before a_init
+		// existed): keep the old semantics — Run starts a fresh NSteps grid
+		// at the restored epoch.  Restoring the step counter without the
+		// anchor would make Run compute a full-grid step size but execute
+		// only the remaining steps, silently stopping short of z_final.
+		s.AInit = 0
+		s.StepCount = 0
+	}
+	// The restored particles share nothing with whatever the solver last
+	// built; drop the cross-step reuse state.
+	s.treeSolver.ResetReuse()
 	return nil
 }
 
