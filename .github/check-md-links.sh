@@ -1,0 +1,29 @@
+#!/bin/sh
+# Checks that every relative link target in the repository's markdown files
+# exists on disk.  External (http/https/mailto) links are skipped — CI must
+# not depend on the network — and so are pure #fragment links.  No
+# dependencies beyond POSIX sh + grep/sed, so it runs identically in CI and
+# locally:  sh .github/check-md-links.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+for f in $(find . -name '*.md' -not -path './.git/*'); do
+    dir=$(dirname "$f")
+    # Extract the (target) of every [text](target), strip fragments/titles.
+    for link in $(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//' \
+            -e 's/ ".*"$//' -e 's/#.*$//'); do
+        case "$link" in
+            ''|http://*|https://*|mailto:*) continue ;;
+        esac
+        if [ ! -e "$dir/$link" ]; then
+            echo "$f: broken link: $link" >&2
+            status=1
+        fi
+    done
+done
+if [ "$status" -ne 0 ]; then
+    echo "markdown link check failed" >&2
+fi
+exit $status

@@ -635,13 +635,9 @@ func BenchmarkTraversal(b *testing.B) {
 		{"periodic-ws2", true, 2, true},
 	} {
 		w := traversalBenchWalker(b, n, tc.periodic, tc.ws, tc.bg)
-		b.Run(tc.name+"/legacy", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				w.ForcesForAllLegacy(1)
-			}
-			b.ReportMetric(float64(w.LastStats.ReplicaWalks), "replica-walks")
-		})
+		// The legacy per-group gather is a test-only oracle since PR 4; its
+		// timing baseline lives in internal/traverse's
+		// BenchmarkLegacyVsInherit, next to the bit-equivalence suite.
 		b.Run(tc.name+"/inherit", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

@@ -7,6 +7,7 @@ import (
 
 	"twohot/internal/cosmo"
 	"twohot/internal/softening"
+	"twohot/internal/step"
 	"twohot/internal/traverse"
 )
 
@@ -57,7 +58,7 @@ type Config struct {
 	Softening             float64    `json:"softening"`      // absolute override (Mpc/h)
 	PMGrid                int        `json:"pm_grid"`        // mesh for pm/treepm
 	Asmth                 float64    `json:"asmth"`          // treepm split in mesh cells
-	Workers               int        `json:"workers"` // goroutines for tree build + traversal (0 = GOMAXPROCS)
+	Workers               int        `json:"workers"`        // goroutines for tree build + traversal (0 = GOMAXPROCS)
 	// Incremental reuses each step's sorted particle order to seed the next
 	// step's tree build (bit-identical to a from-scratch build; near-static
 	// steps skip the full radix sort).
@@ -66,6 +67,22 @@ type Config struct {
 	// DistributedStep pipeline on that many in-process ranks, with
 	// work-weighted domain rebalancing fed back from step to step.
 	Ranks int `json:"ranks,omitempty"`
+	// BlockSteps, when positive, replaces every global step with a
+	// hierarchical block step of that many power-of-two rung levels:
+	// particles are assigned to rungs at each block start by the
+	// displacement criterion below, and each substep drifts/kicks only the
+	// active rungs while the force solve computes sinks for them against
+	// the frozen positions of everything else.  The tree rebuild reuses
+	// the subtrees no active particle touched, bit for bit.  A block step
+	// whose particles all sit on rung 0 is bit-identical to the global
+	// step.  Requires the tree solver and Ranks <= 1.
+	BlockSteps int `json:"block_steps,omitempty"`
+	// RungDisplacementFrac is the per-particle rung criterion: a particle
+	// may stay on a rung only if one step on it moves the particle less
+	// than this fraction of the mean interparticle separation (the
+	// per-particle analogue of SuggestTimestep's limit).  0 means the
+	// default of 0.1.
+	RungDisplacementFrac float64 `json:"rung_displacement_frac,omitempty"`
 
 	// Time integration.
 	ZFinal float64 `json:"z_final"`
@@ -140,6 +157,18 @@ func (c *Config) Validate() error {
 	}
 	if c.Ranks > 1 && c.Solver != SolverTree {
 		return fmt.Errorf("config: ranks > 1 requires the tree solver, not %q", c.Solver)
+	}
+	if c.BlockSteps < 0 || c.BlockSteps > step.MaxRungs {
+		return fmt.Errorf("config: block_steps must be between 0 and %d", step.MaxRungs)
+	}
+	if c.BlockSteps > 0 && c.Solver != SolverTree {
+		return fmt.Errorf("config: block_steps requires the tree solver, not %q", c.Solver)
+	}
+	if c.BlockSteps > 0 && c.Ranks > 1 {
+		return fmt.Errorf("config: block_steps and ranks > 1 are mutually exclusive")
+	}
+	if c.RungDisplacementFrac < 0 {
+		return fmt.Errorf("config: rung_displacement_frac must not be negative")
 	}
 	return nil
 }

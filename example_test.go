@@ -1,0 +1,173 @@
+package twohot_test
+
+// Runnable godoc examples for the public API.  These are executed by
+// `go test` (and therefore by CI), so the documented workflows cannot rot:
+// a quickstart run, a checkpoint/restart that must reproduce the
+// uninterrupted run bit for bit, and distributed stepping via Config.Ranks.
+// Sizes are kept tiny — 8^3 particles, two steps — so the examples stay
+// cheap under -race.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	twohot "twohot"
+)
+
+// exampleConfig returns the smallest configuration that still exercises the
+// full tree pipeline (periodic box, background subtraction, incremental
+// stepping).
+func exampleConfig() twohot.Config {
+	cfg := twohot.DefaultConfig()
+	cfg.Name = "example"
+	cfg.NGrid = 8 // 512 particles: demonstration size
+	cfg.ZInit = 24
+	cfg.ZFinal = 20
+	cfg.NSteps = 2
+	cfg.LatticeOrder = 0 // skip the far-lattice sums for speed
+	return cfg
+}
+
+// ExampleSimulation is the quickstart: validate a configuration, generate
+// initial conditions from the linear power spectrum, evolve to z_final and
+// query the result.
+func ExampleSimulation() {
+	cfg := exampleConfig()
+	sim, err := twohot.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := sim.Run(nil); err != nil { // generates ICs on demand
+		panic(err)
+	}
+	fmt.Println("particles:", sim.NumParticles())
+	fmt.Println("steps taken:", sim.StepCount)
+	fmt.Println("reached z_final:", math.Abs(sim.Redshift()-cfg.ZFinal) < 1e-9)
+	// Output:
+	// particles: 512
+	// steps taken: 2
+	// reached z_final: true
+}
+
+// ExampleSimulation_checkpoint interrupts a run half-way, writes a
+// checkpoint, restores it into a fresh Simulation and finishes — and the
+// result is bit-identical to the run that was never interrupted, because
+// checkpoints carry the leapfrog offset and the step-grid anchor.
+func ExampleSimulation_checkpoint() {
+	cfg := exampleConfig()
+
+	// The uninterrupted reference run.
+	ref, err := twohot.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := ref.Run(nil); err != nil {
+		panic(err)
+	}
+
+	// The same run, checkpointed after its first step.
+	dir, err := os.MkdirTemp("", "twohot-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "step1.sdf")
+
+	first, err := twohot.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := first.GenerateICs(); err != nil {
+		panic(err)
+	}
+	aFinal := 1 / (1 + cfg.ZFinal)
+	dlnA := math.Log(aFinal/first.A) / float64(cfg.NSteps)
+	if err := first.StepOnce(dlnA); err != nil {
+		panic(err)
+	}
+	if err := first.WriteCheckpoint(ckpt); err != nil {
+		panic(err)
+	}
+
+	restored, err := twohot.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := restored.RestoreCheckpoint(ckpt); err != nil {
+		panic(err)
+	}
+	if err := restored.Run(nil); err != nil { // finishes the original grid
+		panic(err)
+	}
+
+	identical := true
+	for i := range ref.P.Pos {
+		if ref.P.Pos[i] != restored.P.Pos[i] || ref.P.Mom[i] != restored.P.Mom[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Println("restart bit-identical:", identical)
+	// Output:
+	// restart bit-identical: true
+}
+
+// ExampleConfig_ranks runs the force solve through the in-process
+// message-passing pipeline (domain decomposition, branch exchange, remote
+// cell fetching) and checks it against the shared-memory solver.  The
+// distributed path regroups particles by owning rank — results are matched
+// by particle ID — and cuts the box into per-rank trees, so it agrees with
+// the serial solver to the force-error tolerance rather than bit for bit
+// (the simulation_distributed_test.go suite pins the exact bounds).
+func ExampleConfig_ranks() {
+	cfg := exampleConfig()
+	serial, err := twohot.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := serial.GenerateICs(); err != nil {
+		panic(err)
+	}
+	accSerial, err := serial.Accelerations()
+	if err != nil {
+		panic(err)
+	}
+	rms := 0.0
+	byID := make(map[int64][3]float64, serial.NumParticles())
+	for i, id := range serial.P.ID {
+		byID[id] = accSerial[i]
+		rms += accSerial[i].Norm2()
+	}
+	rms = math.Sqrt(rms / float64(len(accSerial)))
+
+	cfg.Ranks = 2
+	dist, err := twohot.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := dist.GenerateICs(); err != nil { // same seed, same particles
+		panic(err)
+	}
+	accDist, err := dist.Accelerations()
+	if err != nil {
+		panic(err)
+	}
+	worst := 0.0
+	for i, id := range dist.P.ID {
+		ref := byID[id]
+		d := 0.0
+		for c := 0; c < 3; c++ {
+			d += (accDist[i][c] - ref[c]) * (accDist[i][c] - ref[c])
+		}
+		if rel := math.Sqrt(d) / rms; rel > worst {
+			worst = rel
+		}
+	}
+	fmt.Println("ranks:", 2)
+	fmt.Println("within force tolerance of the shared-memory solver:", worst < 2e-2)
+	// Output:
+	// ranks: 2
+	// within force tolerance of the shared-memory solver: true
+}

@@ -1,0 +1,115 @@
+// Command multiscale demonstrates the activity-driven stepping subsystem on
+// a workload with a wide spread of dynamical timescales: a cosmological box
+// whose collapsing regions demand far shorter timesteps than the quiet
+// voids.  The same initial conditions are evolved twice — once with global
+// steps and once with a three-level block-timestep hierarchy — and the run
+// reports, per block step, how the rung populations, the dirty-set subtree
+// reuse and the activity-pruned traversal behave, then compares the final
+// states.
+//
+// With most particles parked on rung 0, a substep that only advances the
+// fast tail rebuilds only the dirty spine of the tree (the frozen subtrees
+// are copied bit for bit, moments included) and descends only the sink
+// subtrees that hold active particles.  The closing comparison shows the
+// frozen-source approximation's cost: a displacement gap orders of magnitude
+// below the interparticle separation.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	twohot "twohot"
+)
+
+func run(cfg twohot.Config, report bool) (*twohot.Simulation, time.Duration, error) {
+	sim, err := twohot.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := sim.GenerateICs(); err != nil {
+		return nil, 0, err
+	}
+	aFinal := 1 / (1 + cfg.ZFinal)
+	dlnA := math.Log(aFinal/sim.A) / float64(cfg.NSteps)
+	start := time.Now()
+	for s := 0; s < cfg.NSteps; s++ {
+		if err := sim.StepOnce(dlnA); err != nil {
+			return nil, 0, err
+		}
+		if report {
+			rungs := sim.RungHistogram()
+			b := sim.LastForce.Build
+			tr := sim.LastForce.Traversal
+			fmt.Printf("  step %d (z=%5.2f): rungs %v  reused %d cells in %d subtrees, "+
+				"bounds cache %d cells, pruned %d sink subtrees\n",
+				s, sim.Redshift(), rungs, b.ReusedCells, b.ReusedSubtrees,
+				tr.BoundsReusedCells, tr.PrunedInactive)
+		}
+	}
+	if err := sim.Synchronize(); err != nil {
+		return nil, 0, err
+	}
+	return sim, time.Since(start), nil
+}
+
+func main() {
+	cfg := twohot.DefaultConfig()
+	cfg.Name = "multiscale"
+	cfg.NGrid = 16
+	cfg.BoxSize = 200
+	cfg.ZInit = 19
+	cfg.ZFinal = 7
+	cfg.NSteps = 5
+	cfg.ErrTol = 1e-4
+	cfg.WS = 1
+	cfg.LatticeOrder = 0
+
+	fmt.Printf("multiscale: %d^3 particles, z=%g -> %g in %d base steps\n\n",
+		cfg.NGrid, cfg.ZInit, cfg.ZFinal, cfg.NSteps)
+
+	fmt.Println("global stepping:")
+	global, tGlobal, err := run(cfg, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "global run:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  %d steps in %.1fs\n\n", cfg.NSteps, tGlobal.Seconds())
+
+	bcfg := cfg
+	bcfg.BlockSteps = 3
+	bcfg.RungDisplacementFrac = 0.01
+	fmt.Println("block stepping (3 rung levels, displacement criterion 0.01 sep/step):")
+	block, tBlock, err := run(bcfg, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "block run:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  %d block steps in %.1fs\n\n", cfg.NSteps, tBlock.Seconds())
+
+	// The two runs integrate the same physics on different step ladders, so
+	// they agree to the truncation error of the coarse rungs plus the
+	// frozen-source approximation.
+	sep := cfg.BoxSize / float64(cfg.NGrid)
+	maxDev := 0.0
+	for i := range global.P.Pos {
+		d := block.P.Pos[i].Sub(global.P.Pos[i])
+		for c := 0; c < 3; c++ {
+			if d[c] > cfg.BoxSize/2 {
+				d[c] -= cfg.BoxSize
+			}
+			if d[c] < -cfg.BoxSize/2 {
+				d[c] += cfg.BoxSize
+			}
+		}
+		if dev := d.Norm() / sep; dev > maxDev {
+			maxDev = dev
+		}
+	}
+	fmt.Printf("final state: z=%.2f both runs, max position deviation %.2e of the "+
+		"mean interparticle separation\n", global.Redshift(), maxDev)
+	fmt.Println("\n(A block step whose particles all sit on rung 0 is bit-identical to a")
+	fmt.Println("global step; the deviation above is purely the multi-rate truncation.)")
+}

@@ -88,13 +88,6 @@ type TreeConfig struct {
 	// fast path then replaces the radix sort; the built tree — and hence
 	// every force — is bit-identical to a from-scratch solve regardless.
 	Incremental bool
-
-	// LegacyTraversal selects the original per-group root walk instead of
-	// the list-inheriting traversal.  The two are bit-identical (the
-	// equivalence suite in internal/traverse enforces it); the flag exists
-	// for benchmarking and as an escape hatch while the legacy path remains
-	// the reference oracle.
-	LegacyTraversal bool
 }
 
 func (c *TreeConfig) defaults() {
@@ -136,12 +129,13 @@ type TreeSolver struct {
 	LastTree *tree.Tree
 
 	// Persistent per-step state (see the type comment).
-	walker   *traverse.Walker
-	scratch  tree.BuildScratch
-	cp       []vec.V3
-	cm       []float64
-	sinkWork []float64
-	workOut  []float64
+	walker     *traverse.Walker
+	scratch    tree.BuildScratch
+	cp         []vec.V3
+	cm         []float64
+	sinkWork   []float64
+	workOut    []float64
+	sinkActive []bool
 }
 
 // NewTreeSolver returns a solver with the given configuration.
@@ -194,12 +188,37 @@ func (s *TreeSolver) Forces(pos []vec.V3, mass []float64) (*Result, error) {
 // The returned Result.Work carries this step's per-particle interaction
 // counts for the next call.
 func (s *TreeSolver) ForcesWithWork(pos []vec.V3, mass []float64, work []float64) (*Result, error) {
+	return s.ForcesActive(pos, mass, work, nil, nil)
+}
+
+// ForcesActive is the block-timestep entry point: ForcesWithWork restricted
+// to the sink subset marked in active (caller order; nil means every
+// particle).  Sources are always the full particle set, so for every active
+// particle the returned Acc, Pot and Work are bit-identical to a full
+// solve's; slots of inactive particles are unspecified except Work, which
+// carries the input weight through so the feedback loop keeps a cost
+// estimate for particles that have not been sinks recently.
+//
+// moved (caller order, nil for "unknown") marks the particles whose
+// positions changed since this solver's previous call — the dirty set of the
+// incremental rebuild: with Cfg.Incremental set, subtrees untouched by any
+// moved particle are copied from the previous step's tree, cells and moments
+// alike, instead of being rebuilt (tree.Options.Dirty).  Like every other
+// reuse in this pipeline it changes no result bit; a conservative
+// over-marking only shrinks the reuse.
+func (s *TreeSolver) ForcesActive(pos []vec.V3, mass []float64, work []float64, active, moved []bool) (*Result, error) {
 	cfg := s.Cfg
 	if len(pos) != len(mass) {
 		return nil, fmt.Errorf("core: %d positions but %d masses", len(pos), len(mass))
 	}
 	if work != nil && len(work) != len(pos) {
 		return nil, fmt.Errorf("core: %d positions but %d work weights", len(pos), len(work))
+	}
+	if active != nil && len(active) != len(pos) {
+		return nil, fmt.Errorf("core: %d positions but %d active flags", len(pos), len(active))
+	}
+	if moved != nil && len(moved) != len(pos) {
+		return nil, fmt.Errorf("core: %d positions but %d moved flags", len(pos), len(moved))
 	}
 	if len(pos) == 0 {
 		return &Result{}, nil
@@ -237,6 +256,7 @@ func (s *TreeSolver) ForcesWithWork(pos []vec.V3, mass []float64, work []float64
 	}
 	if cfg.Incremental && s.LastTree != nil && len(s.LastTree.SortIndex) == n {
 		opt.Previous = s.LastTree
+		opt.Dirty = moved
 	}
 	tb := time.Now()
 	tr, err := tree.Build(s.cp, s.cm, box, opt)
@@ -281,26 +301,46 @@ func (s *TreeSolver) ForcesWithWork(pos []vec.V3, mass []float64, work []float64
 	}
 	tree.GrowSlice(&s.workOut, n)
 	w.WorkOut = s.workOut
+	if active != nil {
+		// Map the activity mask into sorted order for the traversal; the
+		// walker field is cleared right after the solve so a later full
+		// solve through the retained walker cannot inherit a stale mask.
+		tree.GrowSlice(&s.sinkActive, n)
+		for i, orig := range tr.SortIndex {
+			s.sinkActive[i] = active[orig]
+		}
+		w.SinkActive = s.sinkActive
+	} else {
+		w.SinkActive = nil
+	}
 
 	tt := time.Now()
-	var accSorted []vec.V3
-	var potSorted []float64
-	var counters traverse.Counters
-	if cfg.LegacyTraversal {
-		accSorted, potSorted, counters = w.ForcesForAllLegacy(cfg.Workers)
-	} else {
-		accSorted, potSorted, counters = w.ForcesForAll(cfg.Workers)
-	}
+	accSorted, potSorted, counters := w.ForcesForAll(cfg.Workers)
+	w.SinkActive = nil
 	travTime := time.Since(tt)
 
-	// Scatter back to the caller's order.
+	// Scatter back to the caller's order.  In a subset solve only the active
+	// slots carry results; inactive ones stay zero and keep their incoming
+	// work weight so the shard feedback never forgets a particle's cost.
 	acc := make([]vec.V3, n)
 	pot := make([]float64, n)
 	outWork := make([]float64, n)
-	for i, orig := range tr.SortIndex {
-		acc[orig] = accSorted[i]
-		pot[orig] = potSorted[i]
-		outWork[orig] = s.workOut[i]
+	if active == nil {
+		for i, orig := range tr.SortIndex {
+			acc[orig] = accSorted[i]
+			pot[orig] = potSorted[i]
+			outWork[orig] = s.workOut[i]
+		}
+	} else {
+		for i, orig := range tr.SortIndex {
+			if active[orig] {
+				acc[orig] = accSorted[i]
+				pot[orig] = potSorted[i]
+				outWork[orig] = s.workOut[i]
+			} else if work != nil {
+				outWork[orig] = work[orig]
+			}
+		}
 	}
 	return &Result{
 		Acc:       acc,

@@ -1,10 +1,3 @@
-// Package domain implements the space-filling-curve domain decomposition of
-// Section 3.1: particle keys are sorted in parallel (a sample sort with an
-// American-flag radix sort on-node), splitter keys are chosen so that each
-// processor domain receives approximately equal work, and particles are
-// exchanged with an Alltoallv whose implementation can be selected (direct,
-// pairwise or hierarchical) to reproduce the scalability comparison of the
-// paper.
 package domain
 
 import (
@@ -153,6 +146,30 @@ func SplitWeighted(weights []float64, parts int) []int {
 		bounds[k-1] = len(weights)
 	}
 	return bounds
+}
+
+// MaskWeights writes into dst the weights of the active items, zero for the
+// rest, and returns the destination (grown when dst is too small, so callers
+// can pool it).  It adapts SplitWeighted's inputs to partially-active solves:
+// a block-timestep substep only computes forces for the sink groups holding
+// active particles, so the carried per-particle work of everything else must
+// not attract shard boundaries — a shard full of inactive particles predicts
+// zero cost, and the quantile walk then spends the workers on the work that
+// actually runs.  Like the weights themselves, the mask steers only the
+// schedule, never a result bit.
+func MaskWeights(dst, weights []float64, active []bool) []float64 {
+	if cap(dst) < len(weights) {
+		dst = make([]float64, len(weights))
+	}
+	dst = dst[:len(weights)]
+	for i, w := range weights {
+		if active[i] {
+			dst[i] = w
+		} else {
+			dst[i] = 0
+		}
+	}
+	return dst
 }
 
 // ShardImbalance returns the max/mean shard weight of a SplitWeighted

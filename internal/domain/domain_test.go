@@ -176,3 +176,29 @@ func TestSplitWeightedDegenerateInputs(t *testing.T) {
 		t.Errorf("even split should report imbalance 1")
 	}
 }
+
+func TestMaskWeights(t *testing.T) {
+	w := []float64{3, 1, 4, 1, 5, 9}
+	active := []bool{true, false, true, false, false, true}
+	got := MaskWeights(nil, w, active)
+	want := []float64{3, 0, 4, 0, 0, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: got %g, want %g", i, got[i], want[i])
+		}
+	}
+	// A pooled destination is reused in place when large enough.
+	dst := make([]float64, 8)
+	got2 := MaskWeights(dst, w, active)
+	if &got2[0] != &dst[0] || len(got2) != len(w) {
+		t.Error("sufficiently large destination was not reused")
+	}
+	// Shard boundaries over masked weights land where the active work is:
+	// with all the active weight in the back half, the two-shard boundary
+	// must not sit at the midpoint.
+	masked := MaskWeights(nil, []float64{5, 5, 0, 0, 6, 4}, []bool{false, false, false, false, true, true})
+	b := SplitWeighted(masked, 2)
+	if b[0] != 5 {
+		t.Errorf("masked split boundary at %d, want 5", b[0])
+	}
+}

@@ -109,6 +109,24 @@ func (e *Expansion) Reset(center vec.V3) {
 	e.Mass = 0
 }
 
+// CopyFrom makes e a value copy of src (same order required): moments,
+// absolute moments, Bmax, mass, center and the finalized norms.  A copied
+// expansion is bit-identical to recomputing src's moments from the same
+// operands, which is what the tree build's subtree-reuse path relies on when
+// it transplants the moments of an unchanged cell instead of re-deriving
+// them.
+func (e *Expansion) CopyFrom(src *Expansion) {
+	if e.P != src.P {
+		panic("multipole: CopyFrom across expansion orders")
+	}
+	e.Center = src.Center
+	copy(e.M, src.M)
+	copy(e.B, src.B)
+	e.Bmax = src.Bmax
+	e.Mass = src.Mass
+	e.Norms = append(e.Norms[:0], src.Norms...)
+}
+
 // AddParticle accumulates a point mass at position pos (P2M).
 func (e *Expansion) AddParticle(pos vec.V3, m float64) {
 	t := Table(e.P)

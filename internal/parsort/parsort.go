@@ -1,7 +1,3 @@
-// Package parsort implements the sorting machinery behind the space-filling
-// curve domain decomposition (Section 3.1): an American-flag (in-place MSD)
-// radix sort for the on-node work and a distributed sample sort over the
-// comm runtime for choosing and applying the processor-domain splits.
 package parsort
 
 import (

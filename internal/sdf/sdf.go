@@ -1,9 +1,3 @@
-// Package sdf implements the self-describing file format used by 2HOT for
-// snapshots and checkpoints (Section 3.4.2): an ASCII header containing
-// parameter assignments and a C-style struct declaration describing the raw
-// binary particle records that follow.  Checkpoints additionally record the
-// leapfrog offset between positions and momenta so that a restarted run keeps
-// second-order accuracy in the time integration (Section 2.3).
 package sdf
 
 import (

@@ -1,0 +1,37 @@
+// Package step implements the hierarchical block-timestep scheduler of the
+// activity-driven stepping subsystem: power-of-two rung assignment, the
+// substep ladder, and the per-particle integrator state a block-stepped run
+// carries between substeps.
+//
+// # Contract
+//
+// A block step of base size dlnA is divided among rung levels 0..maxRung:
+// rung r steps with dlnA/2^r, the block runs 2^maxUsedRung substeps, and
+// rung r is active exactly at substep indices divisible by its span
+// (Schedule).  Particles are assigned to rungs at block boundaries — the
+// only instants at which every particle's position epoch coincides — by a
+// per-particle step limit quantized to the next power-of-two division
+// (RungFor), the hierarchical form of the paper's factor-of-two timestep
+// policy.  Between its own steps a particle is frozen: its
+// position does not move and its momentum epoch (State.AMom) trails by its
+// own rung's half step, which is precisely what lets the tree build reuse
+// the subtrees it occupies bit for bit (tree.Options.Dirty) and the
+// traversal skip its sink groups (traverse.Walker.SinkActive).
+//
+// # Bit-identity invariants
+//
+// The scheduler itself computes no physics; it decides who steps when.  The
+// one arithmetic helper, FactorCache, memoizes a kick/drift integral on the
+// exact bit pattern of the "from" epoch — so when every particle shares one
+// epoch, the factor is obtained by exactly one call with exactly the
+// arguments the global integrator would pass.  That degeneracy is what
+// makes a block step whose particles all sit on rung 0 bit-identical to the
+// global leapfrog step (pinned by simulation_blockstep_test.go at the
+// repository root).
+//
+// # Concurrency model
+//
+// Everything here is plain data owned by one integrator: no goroutines, no
+// shared state.  A State or FactorCache must not be used from multiple
+// goroutines concurrently.
+package step

@@ -1,0 +1,137 @@
+package step
+
+import (
+	"math"
+	"math/bits"
+)
+
+// MaxRungs caps the rung hierarchy (Config.BlockSteps): 16 levels span a
+// factor 2^15 between the coarsest and the finest step, far beyond any
+// dynamic range a single block step should bridge.
+const MaxRungs = 16
+
+// RungFor returns the smallest rung r in [0, maxRung] whose step base/2^r
+// does not exceed maxStep — the paper's policy of restricting per-particle
+// timestep changes to exact factors of two, applied hierarchically.  A
+// non-positive maxStep lands on maxRung; an infinite one (a particle at
+// rest) on rung 0.
+func RungFor(base, maxStep float64, maxRung int) int {
+	r := 0
+	s := base
+	for r < maxRung && s > maxStep {
+		s /= 2
+		r++
+	}
+	return r
+}
+
+// Schedule describes the substep ladder of one block step whose finest
+// occupied rung is MaxRung: the block is divided into 2^MaxRung substeps,
+// and rung r steps once every 2^(MaxRung-r) of them.  All rungs are active
+// at substep 0, which is where rung reassignment is allowed — every
+// particle's position sits at the block-start epoch there.
+type Schedule struct{ MaxRung int }
+
+// Substeps returns the number of substeps in the block.
+func (s Schedule) Substeps() int { return 1 << s.MaxRung }
+
+// Span returns how many substeps one step of rung r covers.
+func (s Schedule) Span(r int) int { return 1 << (s.MaxRung - r) }
+
+// LowestActive returns the coarsest rung active at substep k: rung r is
+// active iff k is a multiple of Span(r), i.e. iff r >= LowestActive(k).
+func (s Schedule) LowestActive(k int) int {
+	if k == 0 {
+		return 0
+	}
+	r := s.MaxRung - bits.TrailingZeros(uint(k))
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Active reports whether rung r steps at substep k.
+func (s Schedule) Active(r, k int) bool { return r >= s.LowestActive(k) }
+
+// State is the per-particle integrator state a block-stepped run carries
+// between substeps: the rung assignment of the current block, each
+// particle's momentum epoch (particles on different rungs trail their
+// positions by different half-steps, and a particle that changes rung keeps
+// its old epoch until its next kick bridges the gap — exactly how the global
+// leapfrog primes itself), the active mask of the current substep, and the
+// set of particles drifted since the last force solve (the dirty set of the
+// next incremental tree rebuild).
+type State struct {
+	Rung   []int8
+	AMom   []float64
+	Active []bool
+	// Moved marks the particles whose positions changed since the most
+	// recent force solve; it is only meaningful when MovedValid is set
+	// (false right after construction, when no solve has seen the current
+	// positions yet).
+	Moved      []bool
+	MovedValid bool
+}
+
+// NewState returns a state for n particles, all on rung 0 with their momenta
+// at epoch aMom.
+func NewState(n int, aMom float64) *State {
+	st := &State{
+		Rung:   make([]int8, n),
+		AMom:   make([]float64, n),
+		Active: make([]bool, n),
+		Moved:  make([]bool, n),
+	}
+	for i := range st.AMom {
+		st.AMom[i] = aMom
+	}
+	return st
+}
+
+// MaxRung returns the finest rung currently assigned (0 for an empty state).
+func (st *State) MaxRung() int {
+	r := int8(0)
+	for _, v := range st.Rung {
+		if v > r {
+			r = v
+		}
+	}
+	return int(r)
+}
+
+// FactorCache memoizes a two-point integral factor (a cosmological kick or
+// drift factor) for one fixed target epoch over the distinct "from" epochs
+// appearing in a substep.  Particles sharing a rung history share a momentum
+// epoch bit for bit, so a substep touches only a handful of distinct keys no
+// matter how many particles it kicks — and when every particle shares one
+// epoch (a single-rung run), the factor is computed by exactly one call with
+// exactly the arguments the global integrator would pass, which is what
+// keeps the all-rung-0 block step bit-identical to the global step.
+type FactorCache struct {
+	f  func(a1, a2 float64) float64
+	to float64
+	m  map[uint64]float64
+}
+
+// NewFactorCache wraps the factor integral f(a1, a2).
+func NewFactorCache(f func(a1, a2 float64) float64) *FactorCache {
+	return &FactorCache{f: f, m: make(map[uint64]float64)}
+}
+
+// SetTarget fixes the target epoch and invalidates all memoized factors.
+func (c *FactorCache) SetTarget(to float64) {
+	c.to = to
+	clear(c.m)
+}
+
+// At returns f(from, target), memoized on the bit pattern of from.
+func (c *FactorCache) At(from float64) float64 {
+	k := math.Float64bits(from)
+	if v, ok := c.m[k]; ok {
+		return v
+	}
+	v := c.f(from, c.to)
+	c.m[k] = v
+	return v
+}

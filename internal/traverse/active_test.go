@@ -1,0 +1,225 @@
+package traverse
+
+// Equivalence suite for the activity-restricted traversal and the
+// clean-subtree sink-bound cache: a subset solve must return, for every
+// active particle, exactly the bits of a full solve, for every worker count;
+// and a walker whose sink bounds were transplanted across a dirty-set
+// rebuild must solve bit-identically to a fresh walker on the same tree.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"twohot/internal/softening"
+	"twohot/internal/tree"
+	"twohot/internal/vec"
+)
+
+// activeCases is a subset of the equivalence grid that covers the paths the
+// activity mask interacts with: plain open boundaries, periodic replicas
+// with background subtraction, and the far-lattice post-pass.
+func activeCases() []equivCase {
+	all := equivCases()
+	return []equivCase{all[0], all[4], all[6]}
+}
+
+func TestActiveSubsetMatchesFullSolve(t *testing.T) {
+	for _, tc := range activeCases() {
+		for dist, tr := range equivTrees(t, tc.rhoBar) {
+			w := NewWalker(tr, tc.cfg)
+			n := len(tr.Pos)
+			workFull := make([]float64, n)
+			w.WorkOut = workFull
+			refAcc, refPot, _ := w.ForcesForAll(2)
+			w.WorkOut = nil
+
+			for _, frac := range []float64{0.05, 0.5, 1.0} {
+				rng := rand.New(rand.NewSource(11))
+				active := make([]bool, n)
+				nActive := 0
+				for i := range active {
+					if rng.Float64() < frac {
+						active[i] = true
+						nActive++
+					}
+				}
+				if nActive == 0 {
+					active[0] = true
+					nActive = 1
+				}
+				for _, workers := range []int{1, 2, 4} {
+					name := fmt.Sprintf("%s/%s/frac=%g/workers=%d", tc.name, dist, frac, workers)
+					workSub := make([]float64, n)
+					w.SinkActive = active
+					w.WorkOut = workSub
+					acc, pot, _ := w.ForcesForAll(workers)
+					w.SinkActive = nil
+					w.WorkOut = nil
+					for i := range acc {
+						if !active[i] {
+							continue
+						}
+						if acc[i] != refAcc[i] || pot[i] != refPot[i] {
+							t.Fatalf("%s: active particle %d differs: acc %v vs %v, pot %v vs %v",
+								name, i, acc[i], refAcc[i], pot[i], refPot[i])
+						}
+						if workSub[i] != workFull[i] {
+							t.Fatalf("%s: active particle %d work differs: %g vs %g",
+								name, i, workSub[i], workFull[i])
+						}
+					}
+					if frac < 1 && nActive < n/2 && w.LastStats.PrunedInactive == 0 {
+						t.Errorf("%s: sparse activity pruned nothing", name)
+					}
+					if frac == 1.0 && w.LastStats.PrunedInactive != 0 {
+						t.Errorf("%s: fully active solve pruned %d subtrees",
+							name, w.LastStats.PrunedInactive)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestActiveSubsetAllInactive pins the degenerate case: no active sinks means
+// no work and all-zero outputs.
+func TestActiveSubsetAllInactive(t *testing.T) {
+	tr := equivTrees(t, 1)["clustered"]
+	cfg := Config{MAC: MACAbsoluteError, AccTol: 1e-3, Kernel: softening.Plummer, Eps: 0.01,
+		Periodic: true, BoxSize: 1, WS: 1}
+	w := NewWalker(tr, cfg)
+	w.SinkActive = make([]bool, len(tr.Pos))
+	acc, pot, cnt := w.ForcesForAll(2)
+	w.SinkActive = nil
+	if cnt != (Counters{}) {
+		t.Errorf("all-inactive solve did work: %+v", cnt)
+	}
+	for i := range acc {
+		if acc[i] != (vec.V3{}) || pot[i] != 0 {
+			t.Fatalf("all-inactive solve wrote particle %d", i)
+		}
+	}
+}
+
+// driftSubsetPos mirrors the tree package's partial-drift helper.
+func driftSubsetPos(pos []vec.V3, frac, sigma float64, seed int64) ([]vec.V3, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]vec.V3(nil), pos...)
+	dirty := make([]bool, len(pos))
+	for i := range out {
+		if rng.Float64() >= frac {
+			continue
+		}
+		dirty[i] = true
+		out[i] = vec.V3{
+			vec.PeriodicWrap(out[i][0]+sigma*rng.NormFloat64(), 1),
+			vec.PeriodicWrap(out[i][1]+sigma*rng.NormFloat64(), 1),
+			vec.PeriodicWrap(out[i][2]+sigma*rng.NormFloat64(), 1),
+		}
+	}
+	return out, dirty
+}
+
+// TestSinkBoundCacheMatchesFreshWalker drives the full cross-step pipeline:
+// solve on step-0's tree, rebuild with the dirty-set path, ResetTree, solve
+// again — the cached-bounds solve must be bit-identical to a fresh walker on
+// an identically built tree, and must actually have transplanted bounds.
+func TestSinkBoundCacheMatchesFreshWalker(t *testing.T) {
+	n := 1500
+	box := vec.CubeBox(vec.V3{}, 1)
+	rng := rand.New(rand.NewSource(21))
+	pos0 := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos0 {
+		pos0[i] = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
+		mass[i] = 1.0 / float64(n)
+	}
+	cfg := Config{MAC: MACAbsoluteError, AccTol: 1e-3, Kernel: softening.Plummer, Eps: 0.01,
+		Periodic: true, BoxSize: 1, WS: 1}
+	opt := tree.Options{Order: 4, LeafSize: 8, RhoBar: 1, Workers: 1}
+	var sc tree.BuildScratch
+
+	p0 := append([]vec.V3(nil), pos0...)
+	m0 := append([]float64(nil), mass...)
+	o0 := opt
+	o0.Scratch = &sc
+	t0, err := tree.Build(p0, m0, box, o0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(t0, cfg)
+	w.ForcesForAll(2) // computes and retains t0's sink bounds
+
+	pos1, dirty := driftSubsetPos(pos0, 0.03, 1e-4, 5)
+	p1 := append([]vec.V3(nil), pos1...)
+	m1 := append([]float64(nil), mass...)
+	o1 := opt
+	o1.Scratch = &sc
+	o1.Previous = t0
+	o1.Dirty = dirty
+	t1, err := tree.Build(p1, m1, box, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Reuse) == 0 {
+		t.Fatal("dirty rebuild recorded no reuse segments")
+	}
+
+	w.ResetTree(t1, cfg)
+	acc, pot, cnt := w.ForcesForAll(2)
+	if w.LastStats.BoundsReusedCells == 0 {
+		t.Error("no sink bounds were transplanted across the rebuild")
+	}
+
+	// Reference: an identically built tree traversed by a fresh walker.
+	pr := append([]vec.V3(nil), pos1...)
+	mr := append([]float64(nil), mass...)
+	tRef, err := tree.Build(pr, mr, box, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wRef := NewWalker(tRef, cfg)
+	refAcc, refPot, refCnt := wRef.ForcesForAll(2)
+	if cnt != refCnt {
+		t.Errorf("counters differ: %+v vs %+v", cnt, refCnt)
+	}
+	for i := range acc {
+		if acc[i] != refAcc[i] || pot[i] != refPot[i] {
+			t.Fatalf("particle %d differs under cached sink bounds", i)
+		}
+	}
+}
+
+// BenchmarkLegacyVsInherit keeps the legacy-oracle timing baseline alive
+// in-package now that forcesForAllLegacy is unexported (the root
+// BenchmarkTraversal tracks only the production path).
+func BenchmarkLegacyVsInherit(b *testing.B) {
+	n := 4000
+	rng := rand.New(rand.NewSource(17))
+	pos := make([]vec.V3, n)
+	mass := make([]float64, n)
+	for i := range pos {
+		pos[i] = vec.V3{rng.Float64(), rng.Float64(), rng.Float64()}
+		mass[i] = 1.0 / float64(n)
+	}
+	box := vec.CubeBox(vec.V3{}, 1)
+	tr, err := tree.Build(pos, mass, box, tree.Options{Order: 4, LeafSize: 16, RhoBar: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := NewWalker(tr, Config{MAC: MACAbsoluteError, AccTol: 1e-4,
+		Kernel: softening.Plummer, Eps: 0.01, Periodic: true, BoxSize: 1, WS: 1})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.forcesForAllLegacy(1)
+		}
+	})
+	b.Run("inherit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.ForcesForAll(1)
+		}
+	})
+}

@@ -1,7 +1,8 @@
 package traverse
 
 // Equivalence suite for the list-inheriting traversal: ForcesForAll must
-// reproduce ForcesForAllLegacy bit for bit — accelerations, kernel sums and
+// reproduce the (now test-only) forcesForAllLegacy oracle bit for bit —
+// accelerations, kernel sums and
 // every interaction counter — across MAC types, periodic/non-periodic
 // configurations, background subtraction, softening kernels and worker
 // counts.  This mirrors the PR-1 methodology for the parallel tree build: the
@@ -120,7 +121,7 @@ func TestListInheritMatchesLegacyGather(t *testing.T) {
 	for _, tc := range equivCases() {
 		for dist, tr := range equivTrees(t, tc.rhoBar) {
 			w := NewWalker(tr, tc.cfg)
-			refAcc, refPot, refCnt := w.ForcesForAllLegacy(2)
+			refAcc, refPot, refCnt := w.forcesForAllLegacy(2)
 			legacyWalks := w.LastStats.ReplicaWalks
 			workerCounts := []int{1, 2, 4}
 			if testing.Short() {

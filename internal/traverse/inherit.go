@@ -42,6 +42,7 @@ package traverse
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"twohot/internal/cube"
@@ -77,6 +78,13 @@ type TraversalStats struct {
 	// work-weighted schedule (1.0 is perfect); 0 when the dynamic schedule
 	// ran (no SinkWork, or a single worker).
 	ShardImbalance float64
+	// BoundsReusedCells counts the cells whose sink-distance bounds were
+	// transplanted from the previous tree's bounds via the clean-subtree
+	// cache instead of being recomputed.
+	BoundsReusedCells int64
+	// PrunedInactive counts the sink subtrees the activity mask pruned from
+	// the descent (SinkActive); 0 for full solves.
+	PrunedInactive int64
 }
 
 func (s *TraversalStats) add(o TraversalStats) {
@@ -84,6 +92,7 @@ func (s *TraversalStats) add(o TraversalStats) {
 	s.ReplicaWalks += o.ReplicaWalks
 	s.FrontierWalks += o.FrontierWalks
 	s.InheritedItems += o.InheritedItems
+	s.PrunedInactive += o.PrunedInactive
 }
 
 // Work-list item kinds.
@@ -182,14 +191,44 @@ const boundSlack = 1e-12
 // sinkRadius the legacy path uses for its groups); interior cells combine
 // children through the triangle inequality, which only ever over-estimates —
 // safe for both decision directions.
+//
+// Subtrees the dirty-set rebuild copied verbatim from the previous tree
+// (tree.Tree.Reuse) copy their bounds from the previous call's arrays
+// instead of recursing: r, u and the leaf counts are pure functions of a
+// cell's particle content and subtree structure, both of which the copy
+// preserved bit for bit, so the transplanted values equal a recomputation
+// exactly.  The cache is only consulted when the walker's retired bounds
+// were computed for the very tree the Reuse segments refer to.
 func (w *Walker) buildSinkBounds(sb *sinkBounds) {
 	t := w.Tree
 	n := len(t.Cell)
 	tree.GrowSlice(&sb.r, n)
 	tree.GrowSlice(&sb.u, n)
 	tree.GrowSlice(&sb.leaves, n)
+	var segs []tree.ReusedSubtree
+	var prev *sinkBounds
+	if src := t.ReuseSource(); src != nil && src == w.sbPrevFor &&
+		len(w.sbPrev.r) == len(src.Cell) {
+		segs = t.Reuse
+		prev = &w.sbPrev
+	}
+	reused := int64(0)
 	var rec func(idx int32)
 	rec = func(idx int32) {
+		if prev != nil {
+			// Reuse segments are emitted in ascending Root order; a subtree
+			// root is matched by binary search.
+			si := sort.Search(len(segs), func(i int) bool { return segs[i].Root >= idx })
+			if si < len(segs) && segs[si].Root == idx &&
+				int(segs[si].PrevRoot+segs[si].NumCells) <= len(prev.r) {
+				seg := segs[si]
+				copy(sb.r[seg.Root:seg.Root+seg.NumCells], prev.r[seg.PrevRoot:seg.PrevRoot+seg.NumCells])
+				copy(sb.u[seg.Root:seg.Root+seg.NumCells], prev.u[seg.PrevRoot:seg.PrevRoot+seg.NumCells])
+				copy(sb.leaves[seg.Root:seg.Root+seg.NumCells], prev.leaves[seg.PrevRoot:seg.PrevRoot+seg.NumCells])
+				reused += int64(seg.NumCells)
+				return
+			}
+		}
 		c := t.Cell[idx]
 		if c.Remote {
 			sb.leaves[idx] = 0
@@ -230,6 +269,8 @@ func (w *Walker) buildSinkBounds(sb *sinkBounds) {
 		sb.leaves[idx] = nl
 	}
 	rec(t.RootIdx)
+	w.boundsReusedLatest = reused
+	w.sbFor = t
 }
 
 // inheritWS is one worker's pooled traversal state.
@@ -302,8 +343,17 @@ func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
 
+	if w.SinkActive != nil && len(w.SinkActive) != n {
+		panic("traverse: SinkActive length does not match the tree's particle count")
+	}
 	w.buildSinkBounds(&w.sb)
 	root := t.RootIdx
+
+	if w.SinkActive != nil && w.prepareActivity() == 0 {
+		// Nothing active: no group runs, every slot stays zero.
+		w.LastStats = TraversalStats{BoundsReusedCells: w.boundsReusedLatest}
+		return acc, pot, Counters{}
+	}
 
 	// The initial work list: every replica offset starts as one open entry
 	// for the (shifted) root.  Offsets decided during the descent are exactly
@@ -324,7 +374,7 @@ func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
 		total = ws.counters
 		stats = ws.stats
 	} else {
-		tasks := w.collectTasks(init, nWorkers)
+		tasks := w.collectTasks(init, nWorkers, &stats)
 		// Schedule: with per-particle work weights the tasks are cut into
 		// contiguous per-worker shards of near-equal predicted weight (the
 		// work-feedback rebalance); otherwise workers pull tasks
@@ -382,6 +432,7 @@ func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
 	}
 
 	w.postProcess(acc, pot, nWorkers)
+	stats.BoundsReusedCells = w.boundsReusedLatest
 	w.LastStats = stats
 	return acc, pot, total
 }
@@ -396,12 +447,21 @@ func (w *Walker) shardBounds(tasks []inheritTask, nWorkers int, stats *Traversal
 	if w.SinkWork == nil || len(w.SinkWork) != len(w.Tree.Pos) || len(tasks) < 2 {
 		return nil
 	}
+	work := w.SinkWork
+	if w.SinkActive != nil {
+		// Partially-active solve: particles of pruned groups cost nothing,
+		// so their carried work must not attract shard boundaries.  The
+		// mask is per group, not per particle — a processed group applies
+		// its lists to all of its members.
+		work = domain.MaskWeights(w.maskedWork, work, w.groupActiveMask())
+		w.maskedWork = work
+	}
 	weights := make([]float64, len(tasks))
 	for i := range tasks {
 		c := w.Tree.Cell[tasks[i].sink]
 		sum := 0.0
 		for p := c.First; p < c.First+c.NBodies; p++ {
-			sum += w.SinkWork[p]
+			sum += work[p]
 		}
 		weights[i] = sum
 	}
@@ -414,8 +474,9 @@ func (w *Walker) shardBounds(tasks []inheritTask, nWorkers int, stats *Traversal
 // work list level by level, and cuts the descent into independent subtree
 // tasks once a subtree holds few enough sink leaves.  Refinement is a pure
 // function of (sink cell, inherited list), so where the cut falls cannot
-// change any result — only which goroutine computes it.
-func (w *Walker) collectTasks(init *worklist, nWorkers int) []inheritTask {
+// change any result — only which goroutine computes it.  Sink subtrees the
+// activity mask prunes never become tasks and never pay for a refinement.
+func (w *Walker) collectTasks(init *worklist, nWorkers int, stats *TraversalStats) []inheritTask {
 	t := w.Tree
 	grain := w.sb.leaves[t.RootIdx] / int32(nWorkers*8)
 	if grain < 1 {
@@ -443,6 +504,10 @@ func (w *Walker) collectTasks(init *worklist, nWorkers int) []inheritTask {
 		w.refineInto(sIdx, parent, cur)
 		for oct := 0; oct < 8; oct++ {
 			if ci := c.ChildIdx[oct]; ci != tree.NoChild && w.sb.leaves[ci] > 0 {
+				if !w.subtreeActive(ci) {
+					stats.PrunedInactive++
+					continue
+				}
 				rec(ci, depth+1, cur)
 			}
 		}
@@ -466,6 +531,10 @@ func (w *Walker) descend(sIdx int32, depth int, parent *worklist, ws *inheritWS,
 	w.refineInto(sIdx, parent, cur)
 	for oct := 0; oct < 8; oct++ {
 		if ci := c.ChildIdx[oct]; ci != tree.NoChild && w.sb.leaves[ci] > 0 {
+			if !w.subtreeActive(ci) {
+				ws.stats.PrunedInactive++
+				continue
+			}
 			w.descend(ci, depth+1, cur, ws, acc, pot)
 		}
 	}
@@ -473,29 +542,39 @@ func (w *Walker) descend(sIdx int32, depth int, parent *worklist, ws *inheritWS,
 
 // refineInto rebuilds the work list for sink cell sIdx from its parent's
 // list: decided entries are copied through, open entries are re-tested
-// against the tighter sink bounds.
+// against the tighter sink bounds.  Work lists are offset-sorted by
+// construction — the initial list is one entry per replica offset and
+// classification expands an entry only into entries of the same offset — so
+// the open frontier arrives grouped by offset and the replica shift is
+// resolved once per run instead of once per interval test.
 func (w *Walker) refineInto(sIdx int32, parent, out *worklist) {
 	sc := w.Tree.Cell[sIdx].Center
 	r := w.sb.r[sIdx]
 	u := w.sb.u[sIdx]
 	n := len(parent.kind)
+	lastOff := int32(-1)
+	var off vec.V3
 	for i := 0; i < n; i++ {
 		if parent.kind[i] != itOpen {
 			out.push(parent.kind[i], parent.cell[i], parent.off[i], parent.oct[i])
 			continue
 		}
-		w.classify(parent.cell[i], parent.off[i], sc, r, u, out)
+		if parent.off[i] != lastOff {
+			lastOff = parent.off[i]
+			off = w.offsets[lastOff]
+		}
+		w.classify(parent.cell[i], parent.off[i], off, sc, r, u, out)
 	}
 }
 
 // classify decides one source cell against a sink cell's distance interval:
 // accepted for every descendant leaf, opened for every descendant leaf (the
 // children are then classified recursively, in the legacy walk's emission
-// order), or left open for the child sinks.
-func (w *Walker) classify(ci, oi int32, sc vec.V3, r, u float64, out *worklist) {
+// order), or left open for the child sinks.  off is the resolved replica
+// shift w.offsets[oi], hoisted by the caller across the offset-sorted run.
+func (w *Walker) classify(ci, oi int32, off, sc vec.V3, r, u float64, out *worklist) {
 	t := w.Tree
 	c := t.Cell[ci]
-	off := w.offsets[oi]
 	dc := c.Center.Add(off).Dist(sc)
 	slack := boundSlack * (dc + r + c.Size)
 	if w.accept(c, dc-r-slack) {
@@ -518,7 +597,7 @@ func (w *Walker) classify(ci, oi int32, sc vec.V3, r, u float64, out *worklist) 
 	for oct := 0; oct < 8; oct++ {
 		child := t.Child(c, oct)
 		if child != nil {
-			w.classify(c.ChildIdx[oct], oi, sc, r, u, out)
+			w.classify(c.ChildIdx[oct], oi, off, sc, r, u, out)
 			continue
 		}
 		if t.RhoBar() > 0 {

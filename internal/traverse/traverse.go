@@ -1,18 +1,3 @@
-// Package traverse implements the 2HOT tree traversal: the multipole
-// acceptance criterion (both the Barnes–Hut opening angle and the
-// absolute-error criterion built on the Salmon–Warren error machinery),
-// interaction-list construction with the m-by-n blocking of Section 3.3,
-// background subtraction in both the far field (delta moments) and the near
-// field (analytic uniform-cube removal, Figure 2), explicit periodic replicas
-// and the far-lattice local expansion of Section 2.4, and the interaction
-// counters behind the Table 2 flop accounting.
-//
-// The production entry point is the list-inheriting traversal of inherit.go:
-// interaction lists are refined down the sink tree so sibling groups share
-// the decisions of their ancestors, and the resolved lists are applied
-// through batched SoA kernels.  ForcesForAllLegacy keeps the original
-// walk-from-root-per-group traversal as the reference oracle; the two are
-// bit-identical (equiv_test.go).
 package traverse
 
 import (
@@ -150,10 +135,23 @@ type Walker struct {
 	// distributed decomposition rebalance on.
 	WorkOut []float64
 
+	// SinkActive, when non-nil with one flag per (sorted) particle,
+	// restricts ForcesForAll to the sink groups containing at least one
+	// active particle: sink subtrees with no active particle are pruned
+	// from the descent and never refine a work list.  Results are
+	// specified for ACTIVE particles only, and for those they are
+	// bit-identical to a full solve — each group's interaction list is
+	// independent of which other groups run, which is what makes the
+	// subset solve exact.  Inactive slots are unspecified: pruned groups
+	// never write theirs, and inactive members of processed groups skip
+	// the far-lattice/G post-pass (postProcess), so their partial sums
+	// must never be read.
+	SinkActive []bool
+
 	// LastStats describes the traversal-internal work of the most recent
-	// ForcesForAll or ForcesForAllLegacy call (list reuse, frontier size);
-	// it is bookkeeping about how the lists were built, not physics, so it
-	// is deliberately kept out of Counters.
+	// ForcesForAll call (list reuse, frontier size); it is bookkeeping
+	// about how the lists were built, not physics, so it is deliberately
+	// kept out of Counters.
 	LastStats TraversalStats
 
 	lattice *ewald.Lattice
@@ -166,6 +164,22 @@ type Walker struct {
 	initWL worklist
 	pool   []*inheritWS
 	tasks  []inheritTask
+
+	// Sink-bound cache across trees: sbPrev holds the bounds computed for
+	// sbPrevFor (the tree ForcesForAll last ran on before ResetTree), so
+	// subtrees the dirty-set rebuild copied verbatim can copy their bounds
+	// instead of re-deriving them (see buildSinkBounds).  sbFor names the
+	// tree w.sb currently describes.
+	sbPrev             sinkBounds
+	sbFor, sbPrevFor   *tree.Tree
+	boundsReusedLatest int64
+
+	// Pooled activity state (SinkActive): prefix sums of the active flags
+	// over the sorted particle order, the per-particle group-active mask
+	// and the masked shard weights derived from it.
+	activePrefix []int32
+	groupMask    []bool
+	maskedWork   []float64
 }
 
 // NewWalker prepares a walker; for periodic configurations it precomputes the
@@ -195,7 +209,8 @@ func NewWalker(t *tree.Tree, cfg Config) *Walker {
 // ResetTree points an existing walker at a freshly built tree, retaining
 // everything that does not depend on the particle distribution: the replica
 // offsets, the far-lattice sums (NewLattice is the expensive part of walker
-// construction) and the pooled per-worker traversal buffers.  cfg replaces
+// construction), the pooled per-worker traversal buffers, and the previous
+// tree's sink bounds (the seed of the clean-subtree bound cache).  cfg replaces
 // the walker's Config and must agree with the original on the fields the
 // retained state was derived from — Periodic, BoxSize, WS, LatticeOrder and
 // LatticeShell; scalar fields (AccTol, G, kernel) may change freely.  The
@@ -204,6 +219,13 @@ func NewWalker(t *tree.Tree, cfg Config) *Walker {
 // constructed walker.
 func (w *Walker) ResetTree(t *tree.Tree, cfg Config) {
 	cfg.defaults()
+	if t != w.Tree {
+		// Retire the current bounds to the cache side: if the new tree's
+		// dirty-set rebuild copied subtrees from the old one, buildSinkBounds
+		// transplants their bounds from sbPrev.
+		w.sb, w.sbPrev = w.sbPrev, w.sb
+		w.sbPrevFor, w.sbFor = w.sbFor, nil
+	}
 	w.Tree = t
 	w.Cfg = cfg
 	if w.lattice != nil {
@@ -239,13 +261,15 @@ type sinkGroup struct {
 	count  int
 }
 
-// ForcesForAllLegacy computes forces with the original per-group traversal:
+// forcesForAllLegacy computes forces with the original per-group traversal:
 // every sink leaf cell walks the tree from the root once per replica offset.
-// It is kept as the reference oracle for the list-inheriting path
+// It survives only as the reference oracle for the list-inheriting path
 // (ForcesForAll) — the equivalence suite proves the two are bit-identical —
-// and as the baseline of BenchmarkTraversal.  The returned slices are indexed
-// like the tree's (key-sorted) particle arrays.
-func (w *Walker) ForcesForAllLegacy(nWorkers int) ([]vec.V3, []float64, Counters) {
+// and as the baseline of the in-package traversal benchmark; production
+// callers were retired after the PR 2 bake-in and the symbol is deliberately
+// unexported.  SinkActive is ignored.  The returned slices are indexed like
+// the tree's (key-sorted) particle arrays.
+func (w *Walker) forcesForAllLegacy(nWorkers int) ([]vec.V3, []float64, Counters) {
 	t := w.Tree
 	n := len(t.Pos)
 	acc := make([]vec.V3, n)
@@ -305,11 +329,18 @@ func (w *Walker) ForcesForAllLegacy(nWorkers int) ([]vec.V3, []float64, Counters
 
 // postProcess adds the far-lattice local expansion and applies the final
 // scaling by G, over nWorkers goroutines.  Every particle's contribution is
-// independent, so the parallel split does not change a single bit.
+// independent, so the parallel split does not change a single bit.  Inactive
+// particles of a subset solve are skipped — their slots are unspecified
+// anyway, and the far-lattice evaluation is the one per-particle cost that
+// would otherwise still scale with the full particle count.
 func (w *Walker) postProcess(acc []vec.V3, pot []float64, nWorkers int) {
 	t := w.Tree
+	active := w.SinkActive
 	ParallelRange(len(acc), nWorkers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if active != nil && !active[i] {
+				continue
+			}
 			if w.local != nil {
 				res := w.local.Evaluate(t.Pos[i])
 				acc[i] = acc[i].Add(res.Acc)

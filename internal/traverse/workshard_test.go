@@ -36,7 +36,7 @@ func TestWorkOutSumsToCounters(t *testing.T) {
 	// The legacy oracle records the same per-particle work.
 	legacy := NewWalker(tr, workCfg())
 	legacy.WorkOut = make([]float64, len(tr.Pos))
-	legacy.ForcesForAllLegacy(2)
+	legacy.forcesForAllLegacy(2)
 	for i := range w.WorkOut {
 		if w.WorkOut[i] != legacy.WorkOut[i] {
 			t.Fatalf("particle %d: inherit work %v, legacy work %v", i, w.WorkOut[i], legacy.WorkOut[i])

@@ -97,6 +97,7 @@ func (t *Tree) sortParticles(workers int) (*BuildScratch, int) {
 	recs := GrowSlice(&sc.recs, n)
 	prev := t.Opt.Previous
 	t.Opt.Previous = nil // never retain a chain of previous trees
+	dirty := t.Opt.Dirty
 	if prev != nil && len(prev.SortIndex) == n {
 		order := prev.SortIndex
 		// Key linearly (sequential reads of the fat position array), then
@@ -111,6 +112,11 @@ func (t *Tree) sortParticles(workers int) (*BuildScratch, int) {
 				keyTmp[i] = uint64(keys.FromPosition(t.Pos[i], t.Box, keys.Morton))
 			}
 		})
+		// Arm the subtree-reuse path while keyTmp still holds this build's
+		// keys in caller order (the gather below repurposes its backing).
+		if dirty != nil && len(dirty) == n {
+			t.prepareDirty(prev, dirty, keyTmp, sc)
+		}
 		parallelChunks(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				j := order[i]
@@ -189,6 +195,14 @@ type buildTask struct {
 	first, count int
 }
 
+// arenaReuseInfo is one arena's dirty-set reuse bookkeeping: the pre-order
+// contiguous copies as arena-local segments (rebased and published by the
+// stitch phase) plus the counters covering every copy.
+type arenaReuseInfo struct {
+	segments        []ReusedSubtree
+	subtrees, cells int
+}
+
 // arena accumulates one task's subtree with arena-local child indices.
 // Arena builds only read shared tree state (sorted particles, background
 // moments, options); the global cell array and hash table are mutated solely
@@ -196,12 +210,17 @@ type buildTask struct {
 type arena struct {
 	t     *Tree
 	cells []*Cell
+	reuse arenaReuseInfo
 }
 
-// build mirrors Tree.buildCell exactly, appending into the arena instead of
-// the tree and computing all leaf and internal moments of the subtree.
+// build mirrors Tree.buildCell exactly — including the dirty-set reuse check
+// at every level — appending into the arena instead of the tree and
+// computing all leaf and internal moments of the subtree.
 func (a *arena) build(key keys.Key, first, count int) int32 {
 	t := a.t
+	if pi, ok := t.reusable(key, count); ok {
+		return a.copySubtree(pi, first)
+	}
 	level := key.Level()
 	c := t.newCell(key, first, count)
 	idx := int32(len(a.cells))
@@ -249,7 +268,9 @@ func (t *Tree) buildParallel(root keys.Key, first, count, workers int) int32 {
 	var tasks []buildTask
 	var plan func(key keys.Key, first, count int)
 	plan = func(key keys.Key, first, count int) {
-		if taskHere(key.Level(), count) {
+		// A subtree the dirty-set path can copy whole is one task no matter
+		// how high it sits: the copy is memory-bound and must not be split.
+		if _, ok := t.reusable(key, count); ok || taskHere(key.Level(), count) {
 			tasks = append(tasks, buildTask{key, first, count})
 			return
 		}
@@ -268,6 +289,7 @@ func (t *Tree) buildParallel(root keys.Key, first, count, workers int) int32 {
 	// Phase 2: build every task's subtree into its own arena, workers
 	// pulling tasks from an atomic cursor.
 	arenas := make([][]*Cell, len(tasks))
+	arenaReuse := make([]arenaReuseInfo, len(tasks))
 	nw := workers
 	if nw > len(tasks) {
 		nw = len(tasks)
@@ -286,6 +308,7 @@ func (t *Tree) buildParallel(root keys.Key, first, count, workers int) int32 {
 				a := arena{t: t}
 				a.build(tasks[ti].key, tasks[ti].first, tasks[ti].count)
 				arenas[ti] = a.cells
+				arenaReuse[ti] = a.reuse
 			}
 		}()
 	}
@@ -299,7 +322,9 @@ func (t *Tree) buildParallel(root keys.Key, first, count, workers int) int32 {
 	nextTask := 0
 	var stitch func(key keys.Key, first, count int) int32
 	stitch = func(key keys.Key, first, count int) int32 {
-		if taskHere(key.Level(), count) {
+		// The reuse check must replay the planning walk's decision exactly;
+		// both read only immutable state, so they cannot diverge.
+		if _, reused := t.reusable(key, count); reused || taskHere(key.Level(), count) {
 			base := int32(len(t.Cell))
 			for _, c := range arenas[nextTask] {
 				for o := range c.ChildIdx {
@@ -311,6 +336,15 @@ func (t *Tree) buildParallel(root keys.Key, first, count, workers int) int32 {
 				t.Cell = append(t.Cell, c)
 				t.Hash.Put(c.Key, idx)
 			}
+			// Adopt the arena's reuse records, rebased to the global layout.
+			ar := &arenaReuse[nextTask]
+			for _, seg := range ar.segments {
+				t.Reuse = append(t.Reuse, ReusedSubtree{
+					PrevRoot: seg.PrevRoot, Root: seg.Root + base, NumCells: seg.NumCells,
+				})
+			}
+			t.Stats.ReusedSubtrees += ar.subtrees
+			t.Stats.ReusedCells += ar.cells
 			nextTask++
 			return base
 		}

@@ -77,6 +77,18 @@ type Options struct {
 	// describe the same particle count; anything else disables the reuse.
 	// Build clears this field on the new tree so retained trees never chain.
 	Previous *Tree
+	// Dirty, when non-nil alongside a compatible Previous (same length as
+	// the particle arrays, indexed in the caller's particle order), marks
+	// the particles whose position or mass changed since Previous was
+	// built and arms the subtree-reuse path: subtrees whose body-key
+	// interval contains no dirty particle (old or new key) are copied from
+	// Previous — cells and moments — instead of being rebuilt, and only
+	// the dirty spine is re-derived.  Marking an unchanged particle dirty
+	// is safe (it only shrinks the reuse); failing to mark a changed one
+	// violates the contract and silently corrupts the tree.  The built
+	// tree is bit-identical to a from-scratch build for every worker
+	// count (dirty_test.go).  Build clears this field on the new tree.
+	Dirty []bool
 	// Scratch, when non-nil, supplies reusable allocations for the sort and
 	// gather stages of the build (see BuildScratch).  Passing the same
 	// scratch to successive builds transfers ownership of the retained
@@ -98,6 +110,7 @@ type BuildScratch struct {
 	recs  []parsort.KV
 	gpos  []vec.V3
 	gmass []float64
+	dirty []uint64 // sorted dirty-key set of the subtree-reuse path
 	// Double-buffered retained storage: build k hands out side k%2, so the
 	// previous build's tree (side (k-1)%2) stays fully intact while it
 	// seeds the incremental sort.
@@ -180,6 +193,11 @@ type BuildStats struct {
 	// incremental fast path replaces — so the step benchmark can compare
 	// the two strategies on exactly the work that differs between them.
 	SortTime time.Duration
+	// ReusedSubtrees and ReusedCells count the subtree copies the
+	// dirty-set path performed (see Options.Dirty); both zero when the
+	// path was disabled or nothing was clean.
+	ReusedSubtrees int
+	ReusedCells    int
 }
 
 func (o *Options) defaults() {
@@ -208,12 +226,27 @@ type Tree struct {
 	SortIndex []int
 
 	// Stats describes how the sort phase of this build ran (incremental
-	// reuse, near-sorted fast path).
+	// reuse, near-sorted fast path) and how much of the tree the dirty-set
+	// path copied from the previous one.
 	Stats BuildStats
+
+	// Reuse lists the subtrees copied verbatim from the previous tree
+	// (empty unless Options.Dirty armed the subtree-reuse path); see
+	// ReusedSubtree for what consumers may do with the segments.
+	Reuse []ReusedSubtree
 
 	// alloc is the transient retained-storage allocator of the current
 	// build (nil outside serial scratch-backed builds).
 	alloc *retainedAlloc
+
+	// Transient dirty-set state of the current build (see dirty.go):
+	// the copy source, and the sorted old+new body keys of the dirty
+	// particles.  Both are cleared before Build returns; reuseFrom
+	// survives so consumers can validate the Reuse segments against the
+	// tree they refer to.
+	prev      *Tree
+	dirtyKeys []uint64
+	reuseFrom *Tree
 
 	// Background moments per level (index = level), present when RhoBar>0.
 	bgByLevel []*multipole.Expansion
@@ -273,6 +306,9 @@ func Build(pos []vec.V3, mass []float64, box vec.Box, opt Options) (*Tree, error
 	}
 	t.RootIdx = t.buildRange(keys.RootKey, 0, len(pos), workers)
 	t.alloc = nil
+	t.prev = nil
+	t.dirtyKeys = nil
+	t.Opt.Dirty = nil // the tree must not retain the caller's dirty mask
 	sc.cellEstimate = len(t.Cell)
 	return t, nil
 }
@@ -322,8 +358,12 @@ func (t *Tree) newCell(key keys.Key, first, count int) Cell {
 }
 
 // buildCell recursively constructs the cell covering the given particle range
-// and returns its index.
+// and returns its index.  When the dirty-set path is armed and the range is
+// untouched since the previous build, the whole subtree is copied instead.
 func (t *Tree) buildCell(key keys.Key, first, count int) int32 {
+	if pi, ok := t.reusable(key, count); ok {
+		return t.copySubtree(pi, first)
+	}
 	level := key.Level()
 	cp := t.allocCell()
 	*cp = t.newCell(key, first, count)

@@ -15,6 +15,7 @@ import (
 	"twohot/internal/particle"
 	"twohot/internal/pm"
 	"twohot/internal/sdf"
+	"twohot/internal/step"
 	"twohot/internal/transfer"
 	"twohot/internal/vec"
 )
@@ -47,6 +48,13 @@ type Simulation struct {
 
 	treeSolver *core.TreeSolver
 	pmSolver   *pm.Solver
+
+	// block is the per-particle state of the hierarchical block-timestep
+	// integrator (Cfg.BlockSteps > 0): rung assignments, per-particle
+	// momentum epochs, and the moved set feeding the dirty-set tree reuse.
+	// nil until the first block step, and reset whenever a fresh particle
+	// load replaces the integrator history.
+	block *step.State
 }
 
 // New validates the configuration and prepares a simulation (without
@@ -145,6 +153,7 @@ func (s *Simulation) GenerateICs() error {
 	s.AInit = parts.A
 	s.StepCount = 0
 	s.treeSolver.ResetReuse()
+	s.block = nil
 	return nil
 }
 
@@ -157,6 +166,7 @@ func (s *Simulation) SetParticles(set *particle.Set, a float64) {
 	s.AInit = a
 	s.StepCount = 0
 	s.treeSolver.ResetReuse()
+	s.block = nil
 }
 
 // Accelerations computes comoving accelerations for the current particle
@@ -237,13 +247,18 @@ func (s *Simulation) accelerationsDistributed() ([]vec.V3, error) {
 // StepOnce advances the simulation by one kick-drift step of size dlnA using
 // the symplectic comoving leapfrog (Quinn et al. 1997): the momenta lead or
 // trail the positions by half a step.  The first call primes the offset with
-// a half kick.
+// a half kick.  With Cfg.BlockSteps > 0 the step runs as a hierarchical
+// block step instead (see blockStepOnce); the two are bit-identical whenever
+// every particle lands on rung 0.
 func (s *Simulation) StepOnce(dlnA float64) error {
 	if s.P == nil {
 		return fmt.Errorf("twohot: no particles loaded")
 	}
 	if dlnA <= 0 {
 		return fmt.Errorf("twohot: dlnA must be positive")
+	}
+	if s.Cfg.BlockSteps > 0 {
+		return s.blockStepOnce(dlnA)
 	}
 	aNow := s.A
 	aNext := aNow * math.Exp(dlnA)
@@ -278,8 +293,12 @@ func (s *Simulation) StepOnce(dlnA float64) error {
 // Synchronize closes the leapfrog by kicking the momenta from the half step
 // up to the position time, so that positions and velocities refer to the same
 // epoch (used before measurements that need velocities and before writing a
-// synchronized snapshot).
+// synchronized snapshot).  In a block-stepped run every particle trails by
+// its own rung's half step, so the closing kick is per-particle.
 func (s *Simulation) Synchronize() error {
+	if s.block != nil {
+		return s.synchronizeBlock()
+	}
 	if s.AMom == s.A {
 		return nil
 	}
@@ -292,6 +311,197 @@ func (s *Simulation) Synchronize() error {
 		s.P.Mom[i] = s.P.Mom[i].Add(acc[i].Scale(kick))
 	}
 	s.AMom = s.A
+	return nil
+}
+
+// synchronizeBlock closes the leapfrog of a block-stepped run: positions all
+// sit at the block boundary s.A, and each particle's momentum is kicked from
+// its own epoch up to it.  When every particle shares one epoch (single-rung
+// runs) the factor cache degenerates to the exact arithmetic of the global
+// Synchronize, bit for bit.
+func (s *Simulation) synchronizeBlock() error {
+	bs := s.block
+	synced := true
+	for _, am := range bs.AMom {
+		if am != s.A {
+			synced = false
+			break
+		}
+	}
+	if synced {
+		s.AMom = s.A
+		return nil
+	}
+	var moved []bool
+	if bs.MovedValid {
+		moved = bs.Moved
+	}
+	res, err := s.treeSolver.ForcesActive(s.P.Pos, s.P.Mass, s.P.Work, nil, moved)
+	if err != nil {
+		return err
+	}
+	s.LastForce = res
+	copy(s.P.Acc, res.Acc)
+	copy(s.P.Pot, res.Pot)
+	copy(s.P.Work, res.Work)
+	// The solve consumed the current positions; nothing has moved since.
+	for i := range bs.Moved {
+		bs.Moved[i] = false
+	}
+	bs.MovedValid = true
+
+	cache := step.NewFactorCache(s.Par.KickFactor)
+	cache.SetTarget(s.A)
+	for i := range s.P.Mom {
+		s.P.Mom[i] = s.P.Mom[i].Add(res.Acc[i].Scale(cache.At(bs.AMom[i])))
+		bs.AMom[i] = s.A
+	}
+	s.AMom = s.A
+	return nil
+}
+
+// blockStepOnce advances the simulation by one hierarchical block step of
+// total size dlnA (Cfg.BlockSteps rung levels).  Rungs are assigned at the
+// block start — where every particle's position sits at the same epoch —
+// from the per-particle displacement criterion; the block then runs
+// 2^maxUsedRung substeps, each computing forces only for the sinks on its
+// active rungs and drifting/kicking only those.  Inactive particles are
+// frozen, which is exactly what lets the tree rebuild and the traversal
+// reuse their subtrees bit-identically (tree.Options.Dirty,
+// traverse.Walker.SinkActive).  With every particle on rung 0 the block
+// collapses to one substep whose arithmetic — epochs, kick and drift
+// factors, update order — reproduces the global StepOnce bit for bit.
+func (s *Simulation) blockStepOnce(dlnA float64) error {
+	n := s.P.Len()
+	if s.block == nil || len(s.block.Rung) != n {
+		s.block = step.NewState(n, s.AMom)
+	}
+	bs := s.block
+
+	// Rung assignment from the current momenta: one rung-r step may move a
+	// particle at most frac of the mean interparticle separation (the
+	// per-particle form of SuggestTimestep's displacement limit).
+	maxRung := s.Cfg.BlockSteps - 1
+	frac := s.Cfg.RungDisplacementFrac
+	if frac == 0 {
+		frac = 0.1
+	}
+	sep := s.Cfg.BoxSize / float64(s.Cfg.NGrid)
+	limit := frac * sep * s.A * s.A * s.Par.Hubble(s.A)
+	for i := range bs.Rung {
+		v := s.P.Mom[i].Norm()
+		if v == 0 {
+			bs.Rung[i] = 0
+			continue
+		}
+		bs.Rung[i] = int8(step.RungFor(dlnA, limit/v, maxRung))
+	}
+
+	sched := step.Schedule{MaxRung: bs.MaxRung()}
+	nSub := sched.Substeps()
+	h := dlnA / float64(nSub)
+	nRungs := sched.MaxRung + 1
+
+	// Per-rung epochs: every rung starts the block at s.A and advances by
+	// its own span, so all rungs land on the block boundary together.
+	aPos := make([]float64, nRungs)
+	aNext := make([]float64, nRungs)
+	aHalf := make([]float64, nRungs)
+	drift := make([]float64, nRungs)
+	kicks := make([]*step.FactorCache, nRungs)
+	for r := range aPos {
+		aPos[r] = s.A
+		kicks[r] = step.NewFactorCache(s.Par.KickFactor)
+	}
+
+	aMomEnd := s.AMom
+	for k := 0; k < nSub; k++ {
+		rMin := sched.LowestActive(k)
+		nActive := 0
+		for i, r := range bs.Rung {
+			a := int(r) >= rMin
+			bs.Active[i] = a
+			if a {
+				nActive++
+			}
+		}
+		var moved []bool
+		if bs.MovedValid {
+			moved = bs.Moved
+		}
+
+		var acc []vec.V3
+		if nActive == n {
+			// Fully active substep: identical to the global force path
+			// (the moved set still prunes the tree rebuild).
+			res, err := s.treeSolver.ForcesActive(s.P.Pos, s.P.Mass, s.P.Work, nil, moved)
+			if err != nil {
+				return err
+			}
+			s.LastForce = res
+			copy(s.P.Acc, res.Acc)
+			copy(s.P.Pot, res.Pot)
+			copy(s.P.Work, res.Work)
+			acc = res.Acc
+		} else {
+			res, err := s.treeSolver.ForcesActive(s.P.Pos, s.P.Mass, s.P.Work, bs.Active, moved)
+			if err != nil {
+				return err
+			}
+			s.LastForce = res
+			for i, a := range bs.Active {
+				if a {
+					s.P.Acc[i] = res.Acc[i]
+					s.P.Pot[i] = res.Pot[i]
+					s.P.Work[i] = res.Work[i]
+				}
+			}
+			acc = res.Acc
+		}
+
+		for r := rMin; r < nRungs; r++ {
+			span := sched.Span(r)
+			an := aPos[r] * math.Exp(float64(span)*h)
+			if an > 1 {
+				an = 1
+			}
+			aNext[r] = an
+			aHalf[r] = math.Sqrt(aPos[r] * an)
+			drift[r] = s.Par.DriftFactor(aPos[r], an)
+			kicks[r].SetTarget(aHalf[r])
+		}
+		if k == 0 {
+			// Rung 0's half step is the block-level momentum epoch the
+			// global bookkeeping (and checkpoints) track.
+			aMomEnd = aHalf[0]
+		}
+
+		// Kick, then drift, each over the active particles in index order —
+		// the exact update order of the global step.
+		for i := range s.P.Mom {
+			if !bs.Active[i] {
+				continue
+			}
+			r := int(bs.Rung[i])
+			s.P.Mom[i] = s.P.Mom[i].Add(acc[i].Scale(kicks[r].At(bs.AMom[i])))
+			bs.AMom[i] = aHalf[r]
+		}
+		l := s.Cfg.BoxSize
+		for i := range s.P.Pos {
+			if !bs.Active[i] {
+				continue
+			}
+			s.P.Pos[i] = vec.WrapV(s.P.Pos[i].Add(s.P.Mom[i].Scale(drift[int(bs.Rung[i])])), l)
+		}
+		copy(bs.Moved, bs.Active)
+		bs.MovedValid = true
+		for r := rMin; r < nRungs; r++ {
+			aPos[r] = aNext[r]
+		}
+	}
+	s.A = aPos[0]
+	s.AMom = aMomEnd
+	s.StepCount++
 	return nil
 }
 
@@ -331,6 +541,20 @@ func (s *Simulation) Run(progress func(step int, z float64)) error {
 		}
 	}
 	return s.Synchronize()
+}
+
+// RungHistogram returns the particle count per timestep rung of the current
+// block (index = rung level), or nil when block stepping is inactive or no
+// block step has run yet.
+func (s *Simulation) RungHistogram() []int {
+	if s.block == nil {
+		return nil
+	}
+	out := make([]int, s.block.MaxRung()+1)
+	for _, r := range s.block.Rung {
+		out[r]++
+	}
+	return out
 }
 
 // HalveTimestep and DoubleTimestep express the paper's policy of restricting
@@ -427,7 +651,20 @@ func (s *Simulation) Snapshot() *sdf.Snapshot {
 
 // WriteCheckpoint saves the complete state, including the leapfrog offset, so
 // a restart continues with second-order accuracy.
+//
+// A multi-rung block-stepped run carries one momentum epoch per particle,
+// which the snapshot format cannot represent; writing such a state blind
+// would make the restart silently integrate with wrong kick intervals, so
+// WriteCheckpoint refuses with an error instead — call Synchronize first
+// (Run already ends with one), after which the checkpoint is well-defined.
 func (s *Simulation) WriteCheckpoint(path string) error {
+	if s.block != nil {
+		for _, am := range s.block.AMom {
+			if am != s.AMom {
+				return fmt.Errorf("twohot: block-stepped momenta sit at per-particle epochs; call Synchronize before WriteCheckpoint")
+			}
+		}
+	}
 	return sdf.Write(path, s.Snapshot())
 }
 
@@ -462,8 +699,12 @@ func (s *Simulation) RestoreCheckpoint(path string) error {
 		s.StepCount = 0
 	}
 	// The restored particles share nothing with whatever the solver last
-	// built; drop the cross-step reuse state.
+	// built; drop the cross-step reuse state.  Block-step state is dropped
+	// too: checkpoints are written synchronized (Run ends with Synchronize),
+	// so a restarted block-step run re-primes its per-particle momentum
+	// epochs exactly like a fresh start does.
 	s.treeSolver.ResetReuse()
+	s.block = nil
 	return nil
 }
 

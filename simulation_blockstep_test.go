@@ -1,0 +1,228 @@
+package twohot
+
+// Equivalence and physics suite for the hierarchical block-timestep
+// integrator (Config.BlockSteps).
+//
+//   - A block-step run whose particles all land on rung 0 — either because
+//     the hierarchy has a single level or because the displacement criterion
+//     puts everyone there — must reproduce the global-step run BIT FOR BIT:
+//     same positions, momenta and epochs after every step and after the
+//     closing synchronization.
+//   - A genuinely multi-rung run must stay physical (finite, periodic
+//     positions), must actually occupy several rungs, must reuse clean
+//     subtrees in its partial substeps, and must track the global-step run
+//     to within the truncation error of the coarse rungs.
+
+import (
+	"math"
+	"testing"
+)
+
+// blockConfig is smallConfig tuned so a handful of steps finishes quickly
+// under -race while still exercising the periodic tree path.
+func blockConfig() Config {
+	cfg := smallConfig()
+	cfg.ZInit = 19
+	cfg.ZFinal = 9
+	cfg.NSteps = 4
+	return cfg
+}
+
+// runSim generates ICs and runs the configured number of steps.
+func runSim(t *testing.T, cfg Config) *Simulation {
+	t.Helper()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func assertBitIdentical(t *testing.T, name string, ref, got *Simulation) {
+	t.Helper()
+	if ref.A != got.A || ref.AMom != got.AMom || ref.StepCount != got.StepCount {
+		t.Fatalf("%s: epochs differ: A %v/%v AMom %v/%v steps %d/%d",
+			name, ref.A, got.A, ref.AMom, got.AMom, ref.StepCount, got.StepCount)
+	}
+	for i := range ref.P.Pos {
+		if ref.P.Pos[i] != got.P.Pos[i] || ref.P.Mom[i] != got.P.Mom[i] {
+			t.Fatalf("%s: particle %d differs:\n  pos %v vs %v\n  mom %v vs %v",
+				name, i, ref.P.Pos[i], got.P.Pos[i], ref.P.Mom[i], got.P.Mom[i])
+		}
+	}
+}
+
+func TestBlockStepAllRungZeroMatchesGlobal(t *testing.T) {
+	base := blockConfig()
+	ref := runSim(t, base)
+
+	// BlockSteps=1: a single-level hierarchy is definitionally one substep.
+	single := base
+	single.BlockSteps = 1
+	assertBitIdentical(t, "blocksteps=1", ref, runSim(t, single))
+
+	// BlockSteps=4 with a displacement limit so loose nobody leaves rung 0:
+	// the multi-rung machinery must collapse to the global step.
+	loose := base
+	loose.BlockSteps = 4
+	loose.RungDisplacementFrac = 1e12
+	got := runSim(t, loose)
+	if got.block == nil {
+		t.Fatal("block-step run kept no block state")
+	}
+	if got.block.MaxRung() != 0 {
+		t.Fatalf("loose criterion still assigned rungs up to %d", got.block.MaxRung())
+	}
+	assertBitIdentical(t, "blocksteps=4/loose", ref, got)
+}
+
+func TestBlockStepMultiRung(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rung integration is covered by the full run")
+	}
+	base := blockConfig()
+	ref := runSim(t, base)
+
+	cfg := base
+	cfg.BlockSteps = 3
+	// A displacement limit inside the IC velocity spread: most particles
+	// stay on rung 0 (clean, reusable), the fast tail populates the finer
+	// rungs — the regime the subsystem exists for.
+	cfg.RungDisplacementFrac = 0.01
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.GenerateICs(); err != nil {
+		t.Fatal(err)
+	}
+	aFinal := 1 / (1 + cfg.ZFinal)
+	dlnA := math.Log(aFinal/sim.A) / float64(cfg.NSteps)
+
+	reusedCells := 0
+	prunedSubtrees := int64(0)
+	for stp := 0; stp < cfg.NSteps; stp++ {
+		if err := sim.StepOnce(dlnA); err != nil {
+			t.Fatal(err)
+		}
+		// LastForce belongs to the block's final substep — a partial one
+		// whenever several rungs are occupied, so it should have reused
+		// clean subtrees and pruned inactive sink trees.
+		reusedCells += sim.LastForce.Build.ReusedCells
+		prunedSubtrees += sim.LastForce.Traversal.PrunedInactive
+	}
+	if err := sim.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+
+	occupied := map[int8]bool{}
+	for _, r := range sim.block.Rung {
+		occupied[r] = true
+	}
+	if len(occupied) < 2 {
+		t.Fatalf("displacement criterion produced a single rung (%v); tighten the test config", occupied)
+	}
+	if reusedCells == 0 {
+		t.Error("no tree cells were reused across any partial substep")
+	}
+	if prunedSubtrees == 0 {
+		t.Error("no sink subtrees were pruned in any partial substep")
+	}
+
+	// Physics: finite, in the box, and close to the global-step run.  The
+	// frozen-source approximation perturbs at the truncation-error level of
+	// the coarse rungs, so the comparison is a loose displacement bound in
+	// units of the mean interparticle separation.
+	sep := cfg.BoxSize / float64(cfg.NGrid)
+	maxDev := 0.0
+	for i, p := range sim.P.Pos {
+		for c := 0; c < 3; c++ {
+			if math.IsNaN(p[c]) || p[c] < 0 || p[c] >= cfg.BoxSize {
+				t.Fatalf("particle %d left the box: %v", i, p)
+			}
+		}
+		d := p.Sub(ref.P.Pos[i])
+		for c := 0; c < 3; c++ {
+			// Periodic minimum-image distance.
+			if d[c] > cfg.BoxSize/2 {
+				d[c] -= cfg.BoxSize
+			}
+			if d[c] < -cfg.BoxSize/2 {
+				d[c] += cfg.BoxSize
+			}
+		}
+		if dev := d.Norm() / sep; dev > maxDev {
+			maxDev = dev
+		}
+	}
+	if maxDev > 0.5 {
+		t.Errorf("block-step run deviates %.3f interparticle separations from the global run", maxDev)
+	}
+	t.Logf("rungs occupied: %d, reused cells: %d, pruned sink subtrees: %d, max deviation: %.4f sep",
+		len(occupied), reusedCells, prunedSubtrees, maxDev)
+}
+
+// TestBlockStepCheckpointGate pins the checkpoint contract of block-stepped
+// runs: a multi-rung state carries per-particle momentum epochs the snapshot
+// format cannot represent, so WriteCheckpoint must refuse until Synchronize
+// collapses them — and succeed afterwards.
+func TestBlockStepCheckpointGate(t *testing.T) {
+	cfg := blockConfig()
+	cfg.NSteps = 1
+	cfg.BlockSteps = 3
+	cfg.RungDisplacementFrac = 0.01
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.GenerateICs(); err != nil {
+		t.Fatal(err)
+	}
+	aFinal := 1 / (1 + cfg.ZFinal)
+	dlnA := math.Log(aFinal/sim.A) / float64(cfg.NSteps)
+	if err := sim.StepOnce(dlnA); err != nil {
+		t.Fatal(err)
+	}
+	if sim.block.MaxRung() == 0 {
+		t.Skip("criterion produced a single rung; gate not exercisable")
+	}
+	path := t.TempDir() + "/mid.sdf"
+	if err := sim.WriteCheckpoint(path); err == nil {
+		t.Fatal("WriteCheckpoint accepted a multi-rung unsynchronized state")
+	}
+	if err := sim.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WriteCheckpoint(path); err != nil {
+		t.Fatalf("WriteCheckpoint after Synchronize: %v", err)
+	}
+}
+
+// TestBlockStepValidation pins the configuration gates.
+func TestBlockStepValidation(t *testing.T) {
+	cfg := blockConfig()
+	cfg.BlockSteps = 2
+	cfg.Solver = SolverPM
+	if err := cfg.Validate(); err == nil {
+		t.Error("block_steps with the PM solver must not validate")
+	}
+	cfg = blockConfig()
+	cfg.BlockSteps = 2
+	cfg.Ranks = 2
+	if err := cfg.Validate(); err == nil {
+		t.Error("block_steps with ranks > 1 must not validate")
+	}
+	cfg = blockConfig()
+	cfg.BlockSteps = 64
+	if err := cfg.Validate(); err == nil {
+		t.Error("block_steps beyond the rung cap must not validate")
+	}
+	cfg = blockConfig()
+	cfg.RungDisplacementFrac = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative rung_displacement_frac must not validate")
+	}
+}
