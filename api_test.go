@@ -1,0 +1,212 @@
+package twohot
+
+// Public-API surface gate: api.txt is a golden listing of every exported
+// symbol of the root package — functions, methods, types with their exported
+// fields, constants and variables — and this test fails whenever the surface
+// drifts from it.  An intentional API change is made visible in review by
+// regenerating the golden file:
+//
+//	go test -run TestAPISurface -update-api .
+//
+// The listing is produced from the AST (no build artifacts, no go doc
+// subprocess), normalized to one sorted line per declaration, with
+// unexported struct fields and unexported methods omitted.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite api.txt with the current public API surface")
+
+func TestAPISurface(t *testing.T) {
+	got := renderAPISurface(t)
+	if *updateAPI {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("api.txt rewritten")
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("missing golden file: %v\n(run `go test -run TestAPISurface -update-api .`)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed.\n--- api.txt (reviewed)\n+++ current\n%s\n"+
+			"If the change is intentional, regenerate with `go test -run TestAPISurface -update-api .` "+
+			"and include the api.txt diff in review.", surfaceDiff(string(want), got))
+	}
+}
+
+// renderAPISurface parses the root package (test files excluded) and renders
+// one normalized line per exported declaration.
+func renderAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["twohot"]
+	if !ok {
+		t.Fatal("package twohot not found")
+	}
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedReceiver(d) {
+					continue
+				}
+				fn := *d
+				fn.Body = nil
+				fn.Doc = nil
+				lines = append(lines, renderNode(t, fset, &fn))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						cp := *sp
+						cp.Doc = nil
+						cp.Comment = nil
+						stripUnexportedFields(&cp)
+						lines = append(lines, "type "+renderNode(t, fset, &cp))
+					case *ast.ValueSpec:
+						exported := false
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								exported = true
+							}
+						}
+						if !exported {
+							continue
+						}
+						cp := *sp
+						cp.Doc = nil
+						cp.Comment = nil
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						lines = append(lines, kw+" "+renderNode(t, fset, &cp))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (plain functions pass trivially).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// stripUnexportedFields removes unexported fields from struct type specs
+// (they are implementation detail, not API) and strips comments.
+func stripUnexportedFields(sp *ast.TypeSpec) {
+	st, ok := sp.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return
+	}
+	kept := st.Fields.List[:0:0]
+	for _, f := range st.Fields.List {
+		f.Doc = nil
+		f.Comment = nil
+		if len(f.Names) == 0 {
+			// Embedded field: keep when the embedded type name is exported.
+			typ := f.Type
+			if star, ok := typ.(*ast.StarExpr); ok {
+				typ = star.X
+			}
+			if sel, ok := typ.(*ast.SelectorExpr); ok {
+				typ = sel.Sel
+			}
+			if id, ok := typ.(*ast.Ident); ok && !id.IsExported() {
+				continue
+			}
+			kept = append(kept, f)
+			continue
+		}
+		names := f.Names[:0:0]
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		f.Names = names
+		kept = append(kept, f)
+	}
+	cp := *st
+	fl := *st.Fields
+	fl.List = kept
+	cp.Fields = &fl
+	sp.Type = &cp
+}
+
+// renderNode prints an AST node and collapses it to one whitespace-normalized
+// line.
+func renderNode(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// surfaceDiff renders a minimal line diff of the two surfaces.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "-%s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+%s\n", l)
+		}
+	}
+	return b.String()
+}

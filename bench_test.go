@@ -428,7 +428,7 @@ func BenchmarkFigure7PowerSpectra(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := sim.Run(nil); err != nil {
+		if err := sim.Run(); err != nil {
 			b.Fatal(err)
 		}
 		ps := sim.PowerSpectrum(2 * nGrid)
@@ -504,7 +504,7 @@ func BenchmarkFigure8MassFunction(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := sim.Run(nil); err != nil {
+			if err := sim.Run(); err != nil {
 				b.Fatal(err)
 			}
 			_, m, ratio := sim.MassFunction(20, 6)

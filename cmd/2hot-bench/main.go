@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	twohot "twohot"
 	"twohot/internal/core"
 	"twohot/internal/domain"
 	"twohot/internal/multipole"
@@ -36,6 +37,8 @@ func main() {
 	stepOut := flag.String("step-out", "BENCH_step.json", "output path of the stepping report")
 	blockstep := flag.Bool("blockstep", false, "benchmark dirty-set subtree reuse and active-subset solves over an active-fraction sweep and write a JSON report")
 	blockstepOut := flag.String("blockstep-out", "BENCH_blockstep.json", "output path of the block-step report")
+	solver := flag.Bool("solver", false, "sweep the same IC through every ForceSolver backend (tree/treepm/pm/direct) and write a JSON report")
+	solverOut := flag.String("solver-out", "BENCH_solver.json", "output path of the solver-sweep report")
 	flag.Parse()
 
 	if *table3 {
@@ -68,6 +71,12 @@ func main() {
 	if *blockstep {
 		if err := runBlockstep(*blockstepOut); err != nil {
 			fmt.Fprintln(os.Stderr, "blockstep:", err)
+			os.Exit(1)
+		}
+	}
+	if *solver {
+		if err := runSolverSweep(*solverOut); err != nil {
+			fmt.Fprintln(os.Stderr, "solver:", err)
 			os.Exit(1)
 		}
 	}
@@ -743,6 +752,103 @@ func runBlockstep(outPath string) error {
 			return fmt.Errorf("f=%g: bit-identity violated (trees %v, forces %v)",
 				frac, res.TreesIdentical, res.ForcesIdentical)
 		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}
+
+// solverResult is one row of the solver-sweep report: wall time and force
+// error vs the direct (brute-force Ewald) reference for one backend, solved
+// through the unified ForceSolver interface.
+type solverResult struct {
+	Solver       string              `json:"solver"`
+	WallMs       float64             `json:"wall_ms"`
+	RMSError     float64             `json:"rms_force_error_vs_direct"`
+	MaxError     float64             `json:"max_force_error_vs_direct"`
+	Capabilities twohot.Capabilities `json:"capabilities"`
+}
+
+type solverReport struct {
+	Cores     int     `json:"cores"`
+	Timestamp string  `json:"timestamp"`
+	Particles int     `json:"particles"`
+	BoxSize   float64 `json:"box_size_mpc_h"`
+	ZInit     float64 `json:"z_init"`
+	ErrTol    float64 `json:"err_tol"`
+	Reference string  `json:"reference"`
+
+	Results []solverResult `json:"results"`
+}
+
+// runSolverSweep solves the same initial conditions with every backend
+// behind the ForceSolver interface — direct (the accuracy reference), tree,
+// treepm and pm — recording wall time and the relative force error vs
+// direct, and writes BENCH_solver.json.  Deterministic IC generation (fixed
+// seed) guarantees every backend sees bit-identical particles in identical
+// order, so accelerations compare element-wise.
+func runSolverSweep(outPath string) error {
+	base := twohot.DefaultConfig()
+	base.NGrid = 8 // 512 particles: the direct reference pays a full Ewald lattice sum per pair
+	base.BoxSize = 100
+	base.ZInit = 24
+	base.ErrTol = 1e-5
+	base.WS = 1
+	base.LatticeOrder = 2
+	base.PMGrid = 32
+
+	report := solverReport{
+		Cores:     runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Particles: base.NGrid * base.NGrid * base.NGrid,
+		BoxSize:   base.BoxSize,
+		ZInit:     base.ZInit,
+		ErrTol:    base.ErrTol,
+		Reference: "direct (brute-force Ewald summation)",
+	}
+	fmt.Printf("\nSolver sweep (%d^3 particles at z=%g, L=%g Mpc/h, %d cores):\n",
+		base.NGrid, base.ZInit, base.BoxSize, report.Cores)
+
+	var ref []vec.V3
+	for _, kind := range []twohot.SolverKind{
+		twohot.SolverDirect, twohot.SolverTree, twohot.SolverTreePM, twohot.SolverPM,
+	} {
+		cfg := base
+		cfg.Solver = kind
+		sim, err := twohot.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := sim.GenerateICs(); err != nil {
+			return err
+		}
+		start := time.Now()
+		acc, err := sim.Accelerations()
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		if kind == twohot.SolverDirect {
+			ref = append([]vec.V3(nil), acc...)
+		}
+		stats := core.CompareAccelerations(acc, ref)
+		res := solverResult{
+			Solver:       sim.Solver().Name(),
+			WallMs:       float64(wall.Nanoseconds()) / 1e6,
+			RMSError:     stats.RMS,
+			MaxError:     stats.Max,
+			Capabilities: sim.Solver().Capabilities(),
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("  %-7s %9.1f ms  rms err %.3e  max err %.3e\n",
+			res.Solver, res.WallMs, res.RMSError, res.MaxError)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

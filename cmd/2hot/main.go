@@ -50,10 +50,18 @@ func main() {
 		fmt.Printf("generated %d particles at z=%.2f\n", sim.NumParticles(), sim.Redshift())
 	}
 
-	err = sim.Run(func(step int, z float64) {
-		fmt.Printf("step %4d  z=%7.3f\n", step, z)
+	// Progress through the observer API: one line per step, with the rung
+	// population when block stepping is active.
+	sim.AddObserver(twohot.ObserverFuncs{
+		Step: func(info twohot.StepInfo) {
+			if info.Rungs != nil {
+				fmt.Printf("step %4d  z=%7.3f  rungs %v\n", info.Step, info.Z, info.Rungs)
+				return
+			}
+			fmt.Printf("step %4d  z=%7.3f\n", info.Step, info.Z)
+		},
 	})
-	if err != nil {
+	if err := sim.Run(); err != nil {
 		fatal(err)
 	}
 	if err := sim.WriteCheckpoint(*out); err != nil {

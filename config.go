@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 
+	"twohot/internal/core"
 	"twohot/internal/cosmo"
+	"twohot/internal/pm"
 	"twohot/internal/softening"
 	"twohot/internal/step"
 	"twohot/internal/traverse"
@@ -171,6 +173,50 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: rung_displacement_frac must not be negative")
 	}
 	return nil
+}
+
+// treeConfig derives the tree-solver configuration NewForceSolver hands to
+// core.NewTreeSolver.
+func (c *Config) treeConfig() core.TreeConfig {
+	return core.TreeConfig{
+		Order:                 c.Order,
+		ErrTol:                c.ErrTol,
+		MAC:                   c.macType(),
+		Theta:                 c.Theta,
+		Kernel:                c.kernel(),
+		Eps:                   c.SofteningLength(),
+		G:                     cosmo.G,
+		Periodic:              true,
+		BoxSize:               c.BoxSize,
+		BackgroundSubtraction: c.BackgroundSubtraction,
+		WS:                    c.WS,
+		LatticeOrder:          c.LatticeOrder,
+		Workers:               c.Workers,
+		Incremental:           c.Incremental,
+	}
+}
+
+// pmOptions derives the mesh-solver options NewForceSolver hands to
+// pm.NewSolver: a pure PM solver runs without a force split (Asmth 0), the
+// TreePM composite defaults to the GADGET-2 split of 1.25 mesh cells.
+func (c *Config) pmOptions() pm.Options {
+	mesh := c.PMGrid
+	if mesh == 0 {
+		mesh = 2 * c.NGrid
+	}
+	asmth := c.Asmth
+	if c.Solver == SolverPM {
+		asmth = 0
+	} else if asmth == 0 {
+		asmth = 1.25
+	}
+	return pm.Options{
+		Mesh:          mesh,
+		BoxSize:       c.BoxSize,
+		DeconvolveCIC: true,
+		Asmth:         asmth,
+		Eps:           c.SofteningLength(),
+	}
 }
 
 // macType converts the MAC string.

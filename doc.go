@@ -3,8 +3,38 @@
 // Warren (SC '13).  The root package exposes the user-facing API: a Config
 // describing a simulation (cosmology, initial conditions, force solver, time
 // stepping, outputs), a Simulation that runs it, and measurement helpers
-// (power spectra, halo catalogs, mass functions).  The algorithmic machinery
-// lives in the internal packages:
+// (power spectra, halo catalogs, mass functions).
+//
+// The engine is composed of three pluggable pieces, all selected lazily from
+// the Config or injected through functional options on New:
+//
+//   - ForceSolver — the gravity backend (tree, distributed tree, TreePM,
+//     PM, direct summation), one contract with an honest Capabilities
+//     report; NewForceSolver is the only place the SolverKind dispatch
+//     lives.
+//   - Stepper — the time integrator (global leapfrog or hierarchical block
+//     timesteps, internal/step engines), driving any capable solver.
+//   - Observer — registered diagnostics hooks (OnStep, OnForce,
+//     OnSynchronize) receiving step statistics, rung histograms and energy
+//     tallies.
+//
+// # Migration note (pluggable-engine redesign)
+//
+// Two signatures changed when the engine API landed:
+//
+//   - New(cfg) is now New(cfg, opts...).  Existing calls compile unchanged;
+//     the variadic options (WithSolver, WithStepper, WithObserver,
+//     WithProgress) are additive.
+//   - Run(progress func(step int, z float64)) is now Run().  Port a
+//     progress callback with New(cfg, WithProgress(fn)) or
+//     sim.AddObserver(ProgressObserver(fn)); Run(nil) becomes Run().
+//
+// Results are unchanged: the tree path of the redesigned engine is pinned
+// bit-identical to the pre-redesign inline path
+// (TestTreeAdapterBitIdenticalToLegacyPath), and the public surface itself
+// is now guarded by a golden listing (api.txt, TestAPISurface).
+//
+// The algorithmic machinery lives in the internal packages:
 //
 //	internal/keys       space-filling-curve keys (the "hashed" in HOT)
 //	internal/multipole  Cartesian multipole expansions to order p=8, error bounds
@@ -12,6 +42,7 @@
 //	internal/tree       the hashed oct-tree (local and distributed)
 //	internal/traverse   the MAC, interaction lists, background subtraction, periodic replicas
 //	internal/core       the assembled force solvers (tree, direct, Ewald, distributed)
+//	internal/step       stepping engines (global leapfrog, block timesteps) and the rung scheduler
 //	internal/comm       the message-passing runtime (ranks, collectives, ABM)
 //	internal/domain     space-filling-curve domain decomposition
 //	internal/cosmo      Friedmann background, growth factors, drift/kick integrals

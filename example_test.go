@@ -39,7 +39,7 @@ func ExampleSimulation() {
 	if err != nil {
 		panic(err)
 	}
-	if err := sim.Run(nil); err != nil { // generates ICs on demand
+	if err := sim.Run(); err != nil { // generates ICs on demand
 		panic(err)
 	}
 	fmt.Println("particles:", sim.NumParticles())
@@ -63,7 +63,7 @@ func ExampleSimulation_checkpoint() {
 	if err != nil {
 		panic(err)
 	}
-	if err := ref.Run(nil); err != nil {
+	if err := ref.Run(); err != nil {
 		panic(err)
 	}
 
@@ -98,7 +98,7 @@ func ExampleSimulation_checkpoint() {
 	if err := restored.RestoreCheckpoint(ckpt); err != nil {
 		panic(err)
 	}
-	if err := restored.Run(nil); err != nil { // finishes the original grid
+	if err := restored.Run(); err != nil { // finishes the original grid
 		panic(err)
 	}
 

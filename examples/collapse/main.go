@@ -2,7 +2,8 @@
 // open (vacuum) boundary conditions: a uniform cold sphere collapses under
 // self gravity, and the force-smoothing kernel controls how violently the
 // center is resolved.  It demonstrates the non-periodic code path and the
-// kernel options of Section 2.5.
+// kernel options of Section 2.5, driving the tree backend through the public
+// ForceSolver interface.
 package main
 
 import (
@@ -10,53 +11,53 @@ import (
 	"math"
 	"math/rand"
 
+	twohot "twohot"
 	"twohot/internal/core"
+	"twohot/internal/particle"
 	"twohot/internal/softening"
 	"twohot/internal/vec"
 )
 
-func coldSphere(n int, radius float64, seed int64) ([]vec.V3, []float64) {
+func coldSphere(n int, radius float64, seed int64) *particle.Set {
 	rng := rand.New(rand.NewSource(seed))
-	pos := make([]vec.V3, 0, n)
-	mass := make([]float64, 0, n)
-	for len(pos) < n {
+	set := particle.New(n)
+	for set.Len() < n {
 		p := vec.V3{2*rng.Float64() - 1, 2*rng.Float64() - 1, 2*rng.Float64() - 1}
 		if p.Norm() > 1 {
 			continue
 		}
-		pos = append(pos, p.Scale(radius))
-		mass = append(mass, 1.0/float64(n))
+		set.Append(p.Scale(radius), vec.V3{}, 1.0/float64(n), int64(set.Len()))
 	}
-	return pos, mass
+	return set
 }
 
 func main() {
 	const n = 8000
 	for _, kernel := range []softening.Kernel{softening.Plummer, softening.DehnenK1} {
-		pos, mass := coldSphere(n, 1.0, 7)
-		vel := make([]vec.V3, n)
-		solver := core.NewTreeSolver(core.TreeConfig{
+		set := coldSphere(n, 1.0, 7)
+		solver := twohot.NewTreeForceSolver(core.TreeConfig{
 			Order: 4, ErrTol: 1e-4,
 			Kernel: kernel, Eps: 0.05,
+			Incremental: true,
 		})
 		// The free-fall time of a uniform unit-mass, unit-radius sphere
 		// (G=1) is t_ff = pi/2 * sqrt(R^3/(2GM)) ~ 1.11.
 		dt := 0.01
 		var minRadius float64 = math.Inf(1)
 		for step := 0; step <= 150; step++ {
-			res, err := solver.Forces(pos, mass)
+			res, err := solver.Accelerations(set)
 			if err != nil {
 				panic(err)
 			}
-			for i := range pos {
-				vel[i] = vel[i].Add(res.Acc[i].Scale(dt))
-				pos[i] = pos[i].Add(vel[i].Scale(dt))
+			for i := range set.Pos {
+				set.Mom[i] = set.Mom[i].Add(res.Acc[i].Scale(dt))
+				set.Pos[i] = set.Pos[i].Add(set.Mom[i].Scale(dt))
 			}
-			if r := halfMass(pos); r < minRadius {
+			if r := halfMass(set.Pos); r < minRadius {
 				minRadius = r
 			}
 			if step%50 == 0 {
-				fmt.Printf("kernel=%-10s t=%.2f  half-mass radius=%.3f\n", kernel, float64(step)*dt, halfMass(pos))
+				fmt.Printf("kernel=%-10s t=%.2f  half-mass radius=%.3f\n", kernel, float64(step)*dt, halfMass(set.Pos))
 			}
 		}
 		fmt.Printf("kernel=%-10s maximum collapse: half-mass radius %.3f\n\n", kernel, minRadius)

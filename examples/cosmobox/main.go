@@ -43,12 +43,19 @@ func main() {
 	}
 	fmt.Printf("initial conditions at z=%.1f (2LPT)\n", sim.Redshift())
 
-	if err := sim.Run(func(step int, z float64) {
-		if step%4 == 0 {
-			fmt.Printf("  step %3d  z=%6.2f  interactions/particle=%d\n",
-				step, z, (sim.LastForce.Counters.P2P+sim.LastForce.Counters.CellInteractions())/int64(sim.NumParticles()))
-		}
-	}); err != nil {
+	// Per-step diagnostics through the Observer API: the StepInfo payload
+	// carries the force result, so the hook needs no reach into the
+	// Simulation.
+	sim.AddObserver(twohot.ObserverFuncs{
+		Step: func(info twohot.StepInfo) {
+			if info.Step%4 == 0 {
+				fmt.Printf("  step %3d  z=%6.2f  interactions/particle=%d\n",
+					info.Step, info.Z,
+					(info.Force.Counters.P2P+info.Force.Counters.CellInteractions())/int64(sim.NumParticles()))
+			}
+		},
+	})
+	if err := sim.Run(); err != nil {
 		panic(err)
 	}
 

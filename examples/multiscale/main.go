@@ -24,8 +24,28 @@ import (
 	twohot "twohot"
 )
 
+// reuseObserver reports, after every block step, how the rung populations,
+// the dirty-set subtree reuse and the activity-pruned traversal behaved —
+// everything it needs arrives in the StepInfo payload.
+func reuseObserver() twohot.Observer {
+	return twohot.ObserverFuncs{
+		Step: func(info twohot.StepInfo) {
+			b := info.Force.Build
+			tr := info.Force.Traversal
+			fmt.Printf("  step %d (z=%5.2f): rungs %v  reused %d cells in %d subtrees, "+
+				"bounds cache %d cells, pruned %d sink subtrees\n",
+				info.Step-1, info.Z, info.Rungs, b.ReusedCells, b.ReusedSubtrees,
+				tr.BoundsReusedCells, tr.PrunedInactive)
+		},
+	}
+}
+
 func run(cfg twohot.Config, report bool) (*twohot.Simulation, time.Duration, error) {
-	sim, err := twohot.New(cfg)
+	var opts []twohot.Option
+	if report {
+		opts = append(opts, twohot.WithObserver(reuseObserver()))
+	}
+	sim, err := twohot.New(cfg, opts...)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -38,15 +58,6 @@ func run(cfg twohot.Config, report bool) (*twohot.Simulation, time.Duration, err
 	for s := 0; s < cfg.NSteps; s++ {
 		if err := sim.StepOnce(dlnA); err != nil {
 			return nil, 0, err
-		}
-		if report {
-			rungs := sim.RungHistogram()
-			b := sim.LastForce.Build
-			tr := sim.LastForce.Traversal
-			fmt.Printf("  step %d (z=%5.2f): rungs %v  reused %d cells in %d subtrees, "+
-				"bounds cache %d cells, pruned %d sink subtrees\n",
-				s, sim.Redshift(), rungs, b.ReusedCells, b.ReusedSubtrees,
-				tr.BoundsReusedCells, tr.PrunedInactive)
 		}
 	}
 	if err := sim.Synchronize(); err != nil {

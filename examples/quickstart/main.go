@@ -1,7 +1,9 @@
-// Command quickstart is the smallest complete use of the 2HOT force solver:
-// it builds a Plummer-sphere particle distribution, computes gravitational
-// accelerations with the hashed oct-tree at two accuracy settings, verifies
-// them against direct summation, and integrates a few dynamical times.
+// Command quickstart is the smallest complete use of the 2HOT force engine
+// through the public ForceSolver interface: it builds a Plummer-sphere
+// particle set, computes gravitational accelerations with the hashed
+// oct-tree backend at two accuracy settings, verifies them against the
+// direct-summation backend behind the same interface, and integrates a few
+// dynamical times.
 package main
 
 import (
@@ -9,16 +11,17 @@ import (
 	"math"
 	"math/rand"
 
+	twohot "twohot"
 	"twohot/internal/core"
+	"twohot/internal/particle"
 	"twohot/internal/softening"
 	"twohot/internal/vec"
 )
 
-// plummerSphere samples positions from a Plummer model with scale radius a.
-func plummerSphere(n int, a float64, seed int64) ([]vec.V3, []float64) {
+// plummerSet samples a particle set from a Plummer model with scale radius a.
+func plummerSet(n int, a float64, seed int64) *particle.Set {
 	rng := rand.New(rand.NewSource(seed))
-	pos := make([]vec.V3, n)
-	mass := make([]float64, n)
+	set := particle.New(n)
 	for i := 0; i < n; i++ {
 		// Inverse-transform sample of the Plummer cumulative mass profile.
 		x := rng.Float64()
@@ -26,42 +29,38 @@ func plummerSphere(n int, a float64, seed int64) ([]vec.V3, []float64) {
 		u := 2*rng.Float64() - 1
 		phi := 2 * math.Pi * rng.Float64()
 		s := math.Sqrt(1 - u*u)
-		pos[i] = vec.V3{r * s * math.Cos(phi), r * s * math.Sin(phi), r * u}
-		mass[i] = 1.0 / float64(n)
+		pos := vec.V3{r * s * math.Cos(phi), r * s * math.Sin(phi), r * u}
+		set.Append(pos, vec.V3{}, 1.0/float64(n), int64(i))
 	}
-	return pos, mass
+	return set
 }
 
 func main() {
 	const n = 20000
-	pos, mass := plummerSphere(n, 1.0, 42)
 	eps := 0.02
+	set := plummerSet(n, 1.0, 42)
 
 	fmt.Printf("2HOT quickstart: %d-particle Plummer sphere\n\n", n)
 
-	// Reference forces on a subsample by direct summation.
-	direct := &core.DirectSolver{Kernel: softening.Plummer, Eps: eps}
-	sub := 2000
-	refRes, err := direct.Forces(pos[:sub], mass[:sub])
+	// Reference forces through the direct-summation backend of the same
+	// ForceSolver interface the tree implements.
+	direct := twohot.NewDirectForceSolver(core.DirectSolver{Kernel: softening.Plummer, Eps: eps})
+	ref, err := direct.Accelerations(set)
 	if err != nil {
 		panic(err)
 	}
-	_ = refRes
 
 	for _, errTol := range []float64{1e-3, 1e-5} {
-		solver := core.NewTreeSolver(core.TreeConfig{
+		solver := twohot.NewTreeForceSolver(core.TreeConfig{
 			Order:  4,
 			ErrTol: errTol,
 			Kernel: softening.Plummer,
 			Eps:    eps,
 		})
-		res, err := solver.Forces(pos, mass)
+		res, err := solver.Accelerations(set)
 		if err != nil {
 			panic(err)
 		}
-		// Verify the subsample against direct summation.
-		directAll := &core.DirectSolver{Kernel: softening.Plummer, Eps: eps}
-		ref, _ := directAll.Forces(pos, mass)
 		stats := core.CompareAccelerations(res.Acc, ref.Acc)
 		fmt.Printf("errtol=%.0e: %d cell + %d particle interactions, rms force error %.2e, %.0f ms\n",
 			errTol, res.Counters.CellInteractions(), res.Counters.P2P,
@@ -69,23 +68,26 @@ func main() {
 	}
 
 	// Integrate a few steps with a simple leapfrog (non-cosmological): the
-	// Plummer sphere is in equilibrium, so the density profile should hold.
-	solver := core.NewTreeSolver(core.TreeConfig{Order: 4, ErrTol: 1e-4, Kernel: softening.Plummer, Eps: eps})
-	vel := make([]vec.V3, n) // start cold: the sphere will collapse slightly and oscillate
+	// sphere starts cold, collapses slightly and oscillates.  The solver's
+	// Incremental capability makes consecutive solves reuse the previous
+	// step's sorted order, bit-identically to from-scratch solves.
+	solver := twohot.NewTreeForceSolver(core.TreeConfig{
+		Order: 4, ErrTol: 1e-4, Kernel: softening.Plummer, Eps: eps, Incremental: true,
+	})
 	dt := 0.01
 	for step := 0; step < 20; step++ {
-		res, err := solver.Forces(pos, mass)
+		res, err := solver.Accelerations(set)
 		if err != nil {
 			panic(err)
 		}
-		for i := range pos {
-			vel[i] = vel[i].Add(res.Acc[i].Scale(dt))
-			pos[i] = pos[i].Add(vel[i].Scale(dt))
+		for i := range set.Pos {
+			set.Mom[i] = set.Mom[i].Add(res.Acc[i].Scale(dt))
+			set.Pos[i] = set.Pos[i].Add(set.Mom[i].Scale(dt))
 		}
 	}
 	// Report the half-mass radius after the short integration.
 	r2 := make([]float64, n)
-	for i, p := range pos {
+	for i, p := range set.Pos {
 		r2[i] = p.Norm2()
 	}
 	fmt.Printf("\nafter 20 cold-collapse steps: half-mass radius %.3f (initial Plummer a=1)\n", halfMassRadius(r2))

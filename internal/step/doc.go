@@ -1,7 +1,24 @@
-// Package step implements the hierarchical block-timestep scheduler of the
-// activity-driven stepping subsystem: power-of-two rung assignment, the
-// substep ladder, and the per-particle integrator state a block-stepped run
-// carries between substeps.
+// Package step implements the time-integration engines of the simulation —
+// the global symplectic leapfrog (Global) and the hierarchical
+// block-timestep integrator (Block), both driving an abstract force backend
+// (Forcer) against an integrator clock (Clock) — plus the scheduler the
+// block engine is built from: power-of-two rung assignment, the substep
+// ladder, and the per-particle integrator state a block-stepped run carries
+// between substeps.
+//
+// # Engines
+//
+// An engine mutates the particle set and the Clock in place; the root
+// package's Simulation owns both and selects an engine from its Config (or
+// accepts an injected one through its public Stepper seam, which this
+// package's engines implement structurally).  Engines never know which
+// backend computes forces: Forcer is satisfied by the root package's
+// ForceSolver adapters — tree, TreePM, mesh, direct — and the engines gate
+// nothing on the backend kind.  Scatter defines which Result slots a solve
+// writes back into the set.  Block additionally applies a between-block
+// work-weight decay (decayStaleWork): coarse-rung particles' stale weights
+// are pulled toward the mean so the shard balancer stops chasing cooled hot
+// spots — schedule-only, never a result bit.
 //
 // # Contract
 //

@@ -1,0 +1,420 @@
+package step
+
+import (
+	"fmt"
+	"math"
+
+	"twohot/internal/core"
+	"twohot/internal/cosmo"
+	"twohot/internal/particle"
+	"twohot/internal/vec"
+)
+
+// Forcer is the solver contract the integrator engines drive: a full solve
+// and an active-subset solve over a particle set.  It is the internal face of
+// the root package's ForceSolver interface (which satisfies it structurally),
+// so the engines never know which backend — tree, TreePM, mesh or direct
+// summation — produces the accelerations.
+//
+// Both methods return results in the set's particle order and leave the set's
+// Acc/Pot/Work arrays to the caller: the engine decides which slots of a
+// subset solve are written back (Scatter).
+type Forcer interface {
+	// Accelerations computes forces for every particle of p.
+	Accelerations(p *particle.Set) (*core.Result, error)
+	// ActiveForces restricts the sinks to the active mask (nil = all) and
+	// passes the moved mask (nil = unknown) to incremental backends.
+	ActiveForces(p *particle.Set, active, moved []bool) (*core.Result, error)
+}
+
+// Clock is the integrator-owned time state of a simulation: the scale factor
+// of the positions and the scale factor of the canonical momenta (half a
+// step behind once the leapfrog is primed).  Engines mutate it in place; the
+// owner (the root Simulation) copies it back after each call.
+type Clock struct {
+	A    float64
+	AMom float64
+}
+
+// Scatter writes a solve's results back into the particle set: every slot
+// for a full solve (active == nil), only the active slots otherwise — the
+// slots of inactive particles are unspecified in a subset solve's Result and
+// must keep their previous values.  Nil Result arrays (backends without
+// potential or work support) leave the corresponding particle arrays
+// untouched.
+func Scatter(p *particle.Set, res *core.Result, active []bool) {
+	if active == nil {
+		copy(p.Acc, res.Acc)
+		if res.Pot != nil {
+			copy(p.Pot, res.Pot)
+		}
+		if res.Work != nil {
+			copy(p.Work, res.Work)
+		}
+		return
+	}
+	for i, a := range active {
+		if !a {
+			continue
+		}
+		p.Acc[i] = res.Acc[i]
+		if res.Pot != nil {
+			p.Pot[i] = res.Pot[i]
+		}
+		if res.Work != nil {
+			p.Work[i] = res.Work[i]
+		}
+	}
+}
+
+// Global is the single-rung stepping engine: the symplectic comoving
+// leapfrog of Quinn et al. (1997), kicking every momentum from its current
+// epoch to the half step and drifting every position across the full step.
+// The first Advance on a fresh Clock (AMom == A) primes the half-step offset.
+type Global struct {
+	Par     cosmo.Params
+	BoxSize float64
+}
+
+// NewGlobal returns a global-leapfrog engine for the given background
+// cosmology and periodic box.
+func NewGlobal(par cosmo.Params, boxSize float64) *Global {
+	return &Global{Par: par, BoxSize: boxSize}
+}
+
+// Advance performs one kick-drift step of size dlnA and returns the step's
+// force result.
+func (g *Global) Advance(f Forcer, p *particle.Set, clk *Clock, dlnA float64) (*core.Result, error) {
+	aNow := clk.A
+	aNext := aNow * math.Exp(dlnA)
+	if aNext > 1 {
+		aNext = 1
+	}
+	aHalfNext := math.Sqrt(aNow * aNext)
+
+	res, err := f.Accelerations(p)
+	if err != nil {
+		return nil, err
+	}
+	Scatter(p, res, nil)
+
+	// Kick the momenta from wherever they currently are (a_init on the very
+	// first step, the previous half step afterwards) to the next half step.
+	kick := g.Par.KickFactor(clk.AMom, aHalfNext)
+	for i := range p.Mom {
+		p.Mom[i] = p.Mom[i].Add(res.Acc[i].Scale(kick))
+	}
+	clk.AMom = aHalfNext
+
+	// Drift the positions across the full step using the half-step momenta.
+	drift := g.Par.DriftFactor(aNow, aNext)
+	l := g.BoxSize
+	for i := range p.Pos {
+		p.Pos[i] = vec.WrapV(p.Pos[i].Add(p.Mom[i].Scale(drift)), l)
+	}
+	clk.A = aNext
+	return res, nil
+}
+
+// Synchronize closes the leapfrog by kicking the momenta from the half step
+// up to the position epoch.  Returns (nil, nil) when the clock is already
+// synchronized.
+func (g *Global) Synchronize(f Forcer, p *particle.Set, clk *Clock) (*core.Result, error) {
+	if clk.AMom == clk.A {
+		return nil, nil
+	}
+	res, err := f.Accelerations(p)
+	if err != nil {
+		return nil, err
+	}
+	Scatter(p, res, nil)
+	kick := g.Par.KickFactor(clk.AMom, clk.A)
+	for i := range p.Mom {
+		p.Mom[i] = p.Mom[i].Add(res.Acc[i].Scale(kick))
+	}
+	clk.AMom = clk.A
+	return res, nil
+}
+
+// Reset implements the engine contract; the global leapfrog carries no
+// per-particle state.
+func (g *Global) Reset() {}
+
+// CheckpointReady implements the engine contract: the global leapfrog's
+// state is fully described by the clock, so a snapshot can always represent
+// it.
+func (g *Global) CheckpointReady(aMom float64) error { return nil }
+
+// DefaultWorkDecay is the rate at which Block pulls the stale work weights of
+// long-inactive particles back toward the mean at the end of each block (see
+// decayStaleWork).
+const DefaultWorkDecay = 0.5
+
+// Block is the hierarchical block-timestep engine: each Advance runs one
+// block of 2^maxUsedRung substeps, with rungs assigned at the block start
+// from the per-particle displacement criterion, and each substep solving
+// forces only for the sinks on its active rungs while the inactive particles
+// stay frozen (which is what lets the tree rebuild and the traversal reuse
+// their subtrees bit-identically).  A block whose particles all land on
+// rung 0 reproduces Global's arithmetic bit for bit.
+type Block struct {
+	Par     cosmo.Params
+	BoxSize float64
+
+	// Levels is the number of rung levels (Config.BlockSteps); rungs range
+	// over [0, Levels-1].
+	Levels int
+	// DisplacementFrac is the per-particle rung criterion: one rung-r step
+	// may move a particle at most this fraction of Sep.  0 means 0.1.
+	DisplacementFrac float64
+	// Sep is the mean interparticle separation the criterion is measured
+	// against.
+	Sep float64
+	// WorkDecay is the rate of the between-block work-weight decay
+	// (decayStaleWork); 0 disables it.  NewBlock sets DefaultWorkDecay.
+	WorkDecay float64
+
+	st *State
+}
+
+// NewBlock returns a block-timestep engine with levels rung levels and the
+// given displacement criterion (frac 0 = the 0.1 default), measured against
+// the mean interparticle separation sep.
+func NewBlock(par cosmo.Params, boxSize, sep float64, levels int, frac float64) *Block {
+	return &Block{
+		Par: par, BoxSize: boxSize,
+		Levels: levels, DisplacementFrac: frac, Sep: sep,
+		WorkDecay: DefaultWorkDecay,
+	}
+}
+
+// State exposes the per-particle integrator state of the current block (nil
+// until the first Advance) for diagnostics and tests.
+func (b *Block) State() *State { return b.st }
+
+// RungHistogram returns the particle count per timestep rung of the current
+// block (index = rung level), or nil when no block has run yet.
+func (b *Block) RungHistogram() []int {
+	if b.st == nil {
+		return nil
+	}
+	out := make([]int, b.st.MaxRung()+1)
+	for _, r := range b.st.Rung {
+		out[r]++
+	}
+	return out
+}
+
+// Reset drops the per-particle integrator history, as after installing a new
+// particle load.
+func (b *Block) Reset() { b.st = nil }
+
+// CheckpointReady implements the engine contract: a multi-rung block leaves
+// every particle's momentum at its own rung's half step, which a
+// single-epoch snapshot cannot represent.
+func (b *Block) CheckpointReady(aMom float64) error {
+	if b.st == nil {
+		return nil
+	}
+	for _, am := range b.st.AMom {
+		if am != aMom {
+			return fmt.Errorf("step: block-stepped momenta sit at per-particle epochs; call Synchronize before writing a checkpoint")
+		}
+	}
+	return nil
+}
+
+// Advance performs one hierarchical block step of total size dlnA.
+func (b *Block) Advance(f Forcer, p *particle.Set, clk *Clock, dlnA float64) (*core.Result, error) {
+	n := p.Len()
+	if b.st == nil || len(b.st.Rung) != n {
+		b.st = NewState(n, clk.AMom)
+	}
+	bs := b.st
+
+	// Rung assignment from the current momenta: one rung-r step may move a
+	// particle at most frac of the mean interparticle separation (the
+	// per-particle form of the displacement limit).
+	maxRung := b.Levels - 1
+	frac := b.DisplacementFrac
+	if frac == 0 {
+		frac = 0.1
+	}
+	limit := frac * b.Sep * clk.A * clk.A * b.Par.Hubble(clk.A)
+	for i := range bs.Rung {
+		v := p.Mom[i].Norm()
+		if v == 0 {
+			bs.Rung[i] = 0
+			continue
+		}
+		bs.Rung[i] = int8(RungFor(dlnA, limit/v, maxRung))
+	}
+
+	sched := Schedule{MaxRung: bs.MaxRung()}
+	nSub := sched.Substeps()
+	h := dlnA / float64(nSub)
+	nRungs := sched.MaxRung + 1
+
+	// Per-rung epochs: every rung starts the block at clk.A and advances by
+	// its own span, so all rungs land on the block boundary together.
+	aPos := make([]float64, nRungs)
+	aNext := make([]float64, nRungs)
+	aHalf := make([]float64, nRungs)
+	drift := make([]float64, nRungs)
+	kicks := make([]*FactorCache, nRungs)
+	for r := range aPos {
+		aPos[r] = clk.A
+		kicks[r] = NewFactorCache(b.Par.KickFactor)
+	}
+
+	var last *core.Result
+	aMomEnd := clk.AMom
+	for k := 0; k < nSub; k++ {
+		rMin := sched.LowestActive(k)
+		nActive := 0
+		for i, r := range bs.Rung {
+			a := int(r) >= rMin
+			bs.Active[i] = a
+			if a {
+				nActive++
+			}
+		}
+		var moved []bool
+		if bs.MovedValid {
+			moved = bs.Moved
+		}
+
+		var active []bool
+		if nActive < n {
+			active = bs.Active
+		}
+		// A fully active substep passes a nil mask: it is identical to the
+		// global force path (the moved set still prunes the tree rebuild).
+		res, err := f.ActiveForces(p, active, moved)
+		if err != nil {
+			return nil, err
+		}
+		Scatter(p, res, active)
+		last = res
+		acc := res.Acc
+
+		for r := rMin; r < nRungs; r++ {
+			span := sched.Span(r)
+			an := aPos[r] * math.Exp(float64(span)*h)
+			if an > 1 {
+				an = 1
+			}
+			aNext[r] = an
+			aHalf[r] = math.Sqrt(aPos[r] * an)
+			drift[r] = b.Par.DriftFactor(aPos[r], an)
+			kicks[r].SetTarget(aHalf[r])
+		}
+		if k == 0 {
+			// Rung 0's half step is the block-level momentum epoch the
+			// global bookkeeping (and checkpoints) track.
+			aMomEnd = aHalf[0]
+		}
+
+		// Kick, then drift, each over the active particles in index order —
+		// the exact update order of the global step.
+		for i := range p.Mom {
+			if !bs.Active[i] {
+				continue
+			}
+			r := int(bs.Rung[i])
+			p.Mom[i] = p.Mom[i].Add(acc[i].Scale(kicks[r].At(bs.AMom[i])))
+			bs.AMom[i] = aHalf[r]
+		}
+		l := b.BoxSize
+		for i := range p.Pos {
+			if !bs.Active[i] {
+				continue
+			}
+			p.Pos[i] = vec.WrapV(p.Pos[i].Add(p.Mom[i].Scale(drift[int(bs.Rung[i])])), l)
+		}
+		copy(bs.Moved, bs.Active)
+		bs.MovedValid = true
+		for r := rMin; r < nRungs; r++ {
+			aPos[r] = aNext[r]
+		}
+	}
+	clk.A = aPos[0]
+	clk.AMom = aMomEnd
+	b.decayStaleWork(p, sched)
+	return last, nil
+}
+
+// decayStaleWork pulls the work weights of particles that were inactive for
+// most of the block back toward the mean.  A rung-r particle's weight was
+// last refreshed Span(r) substeps before the block boundary, so coarse-rung
+// weights describe a progressively older force solve; left alone they make
+// domain.SplitWeighted chase hot spots that have since cooled.  The blend
+// factor WorkDecay*(1 - 1/Span(r)) grows with staleness and vanishes for the
+// finest rung and for single-rung blocks — weights steer only the worker
+// shards, never a result bit, so the all-rung-0 bit-identity with Global is
+// untouched (and so is every force of a multi-rung block).
+func (b *Block) decayStaleWork(p *particle.Set, sched Schedule) {
+	if b.WorkDecay == 0 || sched.MaxRung == 0 || p.Len() == 0 {
+		return
+	}
+	mean := 0.0
+	for _, w := range p.Work {
+		mean += w
+	}
+	mean /= float64(p.Len())
+	for i := range p.Work {
+		span := sched.Span(int(b.st.Rung[i]))
+		if span <= 1 {
+			continue
+		}
+		alpha := b.WorkDecay * (1 - 1/float64(span))
+		p.Work[i] += alpha * (mean - p.Work[i])
+	}
+}
+
+// Synchronize closes the leapfrog of a block-stepped run: positions all sit
+// at the block boundary clk.A, and each particle's momentum is kicked from
+// its own epoch up to it.  When every particle shares one epoch the factor
+// cache degenerates to the exact arithmetic of the global Synchronize, bit
+// for bit.  Before the first block (no per-particle state yet) the global
+// closing kick applies.
+func (b *Block) Synchronize(f Forcer, p *particle.Set, clk *Clock) (*core.Result, error) {
+	bs := b.st
+	if bs == nil || len(bs.Rung) != p.Len() {
+		return (&Global{Par: b.Par, BoxSize: b.BoxSize}).Synchronize(f, p, clk)
+	}
+	synced := true
+	for _, am := range bs.AMom {
+		if am != clk.A {
+			synced = false
+			break
+		}
+	}
+	if synced {
+		clk.AMom = clk.A
+		return nil, nil
+	}
+	var moved []bool
+	if bs.MovedValid {
+		moved = bs.Moved
+	}
+	res, err := f.ActiveForces(p, nil, moved)
+	if err != nil {
+		return nil, err
+	}
+	Scatter(p, res, nil)
+	// The solve consumed the current positions; nothing has moved since.
+	for i := range bs.Moved {
+		bs.Moved[i] = false
+	}
+	bs.MovedValid = true
+
+	cache := NewFactorCache(b.Par.KickFactor)
+	cache.SetTarget(clk.A)
+	for i := range p.Mom {
+		p.Mom[i] = p.Mom[i].Add(res.Acc[i].Scale(cache.At(bs.AMom[i])))
+		bs.AMom[i] = clk.A
+	}
+	clk.AMom = clk.A
+	return res, nil
+}

@@ -13,14 +13,17 @@ import (
 	"twohot/internal/ic"
 	"twohot/internal/massfunc"
 	"twohot/internal/particle"
-	"twohot/internal/pm"
 	"twohot/internal/sdf"
 	"twohot/internal/step"
 	"twohot/internal/transfer"
 	"twohot/internal/vec"
 )
 
-// Simulation is a running cosmological N-body simulation.
+// Simulation is a running cosmological N-body simulation.  Its engine is
+// composed of three pluggable pieces: a ForceSolver (the gravity backend), a
+// Stepper (the time integrator) and any number of Observers (diagnostic
+// hooks).  All three are constructed lazily from the Config on first use, or
+// injected through the functional options of New.
 type Simulation struct {
 	Cfg  Config
 	Par  cosmo.Params
@@ -46,20 +49,16 @@ type Simulation struct {
 	// Diagnostics of the last force computation.
 	LastForce *core.Result
 
-	treeSolver *core.TreeSolver
-	pmSolver   *pm.Solver
-
-	// block is the per-particle state of the hierarchical block-timestep
-	// integrator (Cfg.BlockSteps > 0): rung assignments, per-particle
-	// momentum epochs, and the moved set feeding the dirty-set tree reuse.
-	// nil until the first block step, and reset whenever a fresh particle
-	// load replaces the integrator history.
-	block *step.State
+	solver    ForceSolver
+	stepper   Stepper
+	observers []Observer
 }
 
 // New validates the configuration and prepares a simulation (without
-// generating particles yet).
-func New(cfg Config) (*Simulation, error) {
+// generating particles yet).  Options can inject a custom force solver,
+// stepping engine or observers; absent those, both engine pieces are
+// constructed lazily from the configuration on first use.
+func New(cfg Config, opts ...Option) (*Simulation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,45 +74,74 @@ func New(cfg Config) (*Simulation, error) {
 		Par:  par,
 		Spec: transfer.NewSpectrum(par, transfer.EisensteinHu),
 	}
-	s.buildSolvers()
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Block stepping issues active-subset solves; fail at construction, not
+	// mid-run, when the solver (configured or injected) cannot serve them.
+	// Whether block stepping is coming is read from the configuration and
+	// from a directly injected block engine; a custom stepper that wraps one
+	// escapes this early gate and hits the solver's own error on the first
+	// partially-active substep instead.
+	needsActive := cfg.BlockSteps > 0
+	if _, ok := s.stepper.(*step.Block); ok {
+		needsActive = true
+	}
+	if needsActive {
+		probe := s.solver
+		if probe == nil {
+			// Adapters are lazy, so probing the configured backend's
+			// capabilities costs nothing (cfg already validated).
+			probe, err = NewForceSolver(cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !probe.Capabilities().ActiveSubsets {
+			return nil, fmt.Errorf("twohot: block stepping requires a solver with active-subset support; %q lacks it", probe.Name())
+		}
+	}
 	return s, nil
 }
 
-func (s *Simulation) buildSolvers() {
-	cfg := s.Cfg
-	s.treeSolver = core.NewTreeSolver(core.TreeConfig{
-		Order:                 cfg.Order,
-		ErrTol:                cfg.ErrTol,
-		MAC:                   cfg.macType(),
-		Theta:                 cfg.Theta,
-		Kernel:                cfg.kernel(),
-		Eps:                   cfg.SofteningLength(),
-		G:                     cosmo.G,
-		Periodic:              true,
-		BoxSize:               cfg.BoxSize,
-		BackgroundSubtraction: cfg.BackgroundSubtraction,
-		WS:                    cfg.WS,
-		LatticeOrder:          cfg.LatticeOrder,
-		Workers:               cfg.Workers,
-		Incremental:           cfg.Incremental,
-	})
-	mesh := cfg.PMGrid
-	if mesh == 0 {
-		mesh = 2 * cfg.NGrid
+// Solver returns the simulation's force solver, constructing it from the
+// configuration on first use.  Only the configured backend is ever built —
+// a pure tree run allocates no mesh and a pure mesh run no tree.
+func (s *Simulation) Solver() ForceSolver {
+	if s.solver == nil {
+		fs, err := NewForceSolver(s.Cfg)
+		if err != nil {
+			// New validated the configuration; only an injected-then-cleared
+			// state could get here.
+			panic(err)
+		}
+		s.solver = fs
 	}
-	asmth := cfg.Asmth
-	if cfg.Solver == SolverPM {
-		asmth = 0
-	} else if asmth == 0 {
-		asmth = 1.25
+	return s.solver
+}
+
+// Stepper returns the simulation's time-integration engine, constructing it
+// from the configuration on first use (a block-timestep engine when
+// Config.BlockSteps > 0, the global leapfrog otherwise).
+func (s *Simulation) Stepper() Stepper {
+	if s.stepper == nil {
+		s.stepper = newStepper(s)
 	}
-	s.pmSolver = pm.NewSolver(pm.Options{
-		Mesh:          mesh,
-		BoxSize:       cfg.BoxSize,
-		DeconvolveCIC: true,
-		Asmth:         asmth,
-		Eps:           cfg.SofteningLength(),
-	})
+	return s.stepper
+}
+
+// forcer returns the observer-instrumented step.Forcer the engines drive.
+func (s *Simulation) forcer() step.Forcer { return observedForcer{s} }
+
+// resetEngine drops the cross-step reuse state of whichever engine pieces
+// exist, as after installing an unrelated particle load.
+func (s *Simulation) resetEngine() {
+	if s.solver != nil {
+		s.solver.Reset()
+	}
+	if s.stepper != nil {
+		s.stepper.Reset()
+	}
 }
 
 // NumParticles returns the current particle count.
@@ -152,8 +180,7 @@ func (s *Simulation) GenerateICs() error {
 	s.AMom = parts.A
 	s.AInit = parts.A
 	s.StepCount = 0
-	s.treeSolver.ResetReuse()
-	s.block = nil
+	s.resetEngine()
 	return nil
 }
 
@@ -165,19 +192,19 @@ func (s *Simulation) SetParticles(set *particle.Set, a float64) {
 	s.AMom = a
 	s.AInit = a
 	s.StepCount = 0
-	s.treeSolver.ResetReuse()
-	s.block = nil
+	s.resetEngine()
 }
 
 // Accelerations computes comoving accelerations for the current particle
-// positions with the configured solver.
+// positions with the simulation's force solver and scatters Acc/Pot/Work
+// back into the particle set (for capable backends).
 //
-// The tree path is the stepping pipeline of the paper: each solve feeds the
-// next one — the sorted particle order seeds the next incremental tree
+// The tree backend is the stepping pipeline of the paper: each solve feeds
+// the next one — the sorted particle order seeds the next incremental tree
 // rebuild and the per-particle interaction counts rebalance the next solve's
 // worker shards (or, with Cfg.Ranks > 1, the next distributed domain
-// decomposition).  All of this state rides on the Simulation and its solver;
-// none of it changes a single result bit.
+// decomposition).  All of this state rides on the solver; none of it changes
+// a single result bit.
 //
 // With Cfg.Ranks > 1 the particle set is regrouped by owning rank in place:
 // positions, momenta, accelerations and work travel together, so stepping
@@ -187,69 +214,20 @@ func (s *Simulation) Accelerations() ([]vec.V3, error) {
 	if s.P == nil {
 		return nil, fmt.Errorf("twohot: no particles loaded")
 	}
-	switch s.Cfg.Solver {
-	case SolverPM, SolverTreePM:
-		acc := make([]vec.V3, s.P.Len())
-		s.pmSolver.Accelerations(s.P.Pos, s.P.Mass[0], acc)
-		s.LastForce = &core.Result{Acc: acc}
-		return acc, nil
-	case SolverDirect:
-		d := &core.DirectSolver{Kernel: s.Cfg.kernel(), Eps: s.Cfg.SofteningLength(), G: cosmo.G,
-			Periodic: true, BoxSize: s.Cfg.BoxSize}
-		res, err := d.Forces(s.P.Pos, s.P.Mass)
-		if err != nil {
-			return nil, err
-		}
-		s.LastForce = res
-		return res.Acc, nil
-	default:
-		if s.Cfg.Ranks > 1 {
-			return s.accelerationsDistributed()
-		}
-		res, err := s.treeSolver.ForcesWithWork(s.P.Pos, s.P.Mass, s.P.Work)
-		if err != nil {
-			return nil, err
-		}
-		s.LastForce = res
-		copy(s.P.Acc, res.Acc)
-		copy(s.P.Pot, res.Pot)
-		copy(s.P.Work, res.Work)
-		return res.Acc, nil
-	}
-}
-
-// accelerationsDistributed runs one force solve through the message-passing
-// DistributedStep pipeline on Cfg.Ranks in-process ranks.  The domain
-// decomposition balances the per-particle work recorded by the previous
-// step (carried in s.P.Work across the particle exchange), which is the
-// paper's cross-step amortization: domains track the evolving mass — and
-// work — distribution instead of being recut blindly.
-func (s *Simulation) accelerationsDistributed() ([]vec.V3, error) {
-	res, err := core.DistributedStep(s.P, core.DistributedConfig{
-		Tree:           s.treeSolver.Cfg,
-		NRanks:         s.Cfg.Ranks,
-		BranchExchange: "ring",
-		UseWorkWeights: true,
-	})
+	res, err := s.forcer().Accelerations(s.P)
 	if err != nil {
 		return nil, err
 	}
-	s.P = res.ParticlesOut
-	s.LastForce = &core.Result{
-		Acc:      s.P.Acc,
-		Pot:      s.P.Pot,
-		Counters: res.Counters,
-		Timings:  res.Timings,
-	}
-	return s.P.Acc, nil
+	step.Scatter(s.P, res, nil)
+	return res.Acc, nil
 }
 
-// StepOnce advances the simulation by one kick-drift step of size dlnA using
-// the symplectic comoving leapfrog (Quinn et al. 1997): the momenta lead or
-// trail the positions by half a step.  The first call primes the offset with
-// a half kick.  With Cfg.BlockSteps > 0 the step runs as a hierarchical
-// block step instead (see blockStepOnce); the two are bit-identical whenever
-// every particle lands on rung 0.
+// StepOnce advances the simulation by one step of size dlnA through the
+// stepping engine: the symplectic comoving leapfrog (Quinn et al. 1997) when
+// Cfg.BlockSteps == 0, the hierarchical block-timestep integrator otherwise.
+// The two are bit-identical whenever every particle lands on rung 0.  The
+// first call primes the momenta's half-step offset.  OnStep observers fire
+// after the step completes; OnForce observers fire on every solve inside it.
 func (s *Simulation) StepOnce(dlnA float64) error {
 	if s.P == nil {
 		return fmt.Errorf("twohot: no particles loaded")
@@ -257,36 +235,13 @@ func (s *Simulation) StepOnce(dlnA float64) error {
 	if dlnA <= 0 {
 		return fmt.Errorf("twohot: dlnA must be positive")
 	}
-	if s.Cfg.BlockSteps > 0 {
-		return s.blockStepOnce(dlnA)
-	}
-	aNow := s.A
-	aNext := aNow * math.Exp(dlnA)
-	if aNext > 1 {
-		aNext = 1
-	}
-	aHalfNext := math.Sqrt(aNow * aNext)
-
-	acc, err := s.Accelerations()
-	if err != nil {
+	clk := step.Clock{A: s.A, AMom: s.AMom}
+	if _, err := s.Stepper().Advance(s.forcer(), s.P, &clk, dlnA); err != nil {
 		return err
 	}
-	// Kick the momenta from wherever they currently are (a_init on the very
-	// first step, the previous half step afterwards) to the next half step.
-	kick := s.Par.KickFactor(s.AMom, aHalfNext)
-	for i := range s.P.Mom {
-		s.P.Mom[i] = s.P.Mom[i].Add(acc[i].Scale(kick))
-	}
-	s.AMom = aHalfNext
-
-	// Drift the positions across the full step using the half-step momenta.
-	drift := s.Par.DriftFactor(aNow, aNext)
-	l := s.Cfg.BoxSize
-	for i := range s.P.Pos {
-		s.P.Pos[i] = vec.WrapV(s.P.Pos[i].Add(s.P.Mom[i].Scale(drift)), l)
-	}
-	s.A = aNext
+	s.A, s.AMom = clk.A, clk.AMom
 	s.StepCount++
+	s.notifyStep(dlnA)
 	return nil
 }
 
@@ -296,222 +251,26 @@ func (s *Simulation) StepOnce(dlnA float64) error {
 // synchronized snapshot).  In a block-stepped run every particle trails by
 // its own rung's half step, so the closing kick is per-particle.
 func (s *Simulation) Synchronize() error {
-	if s.block != nil {
-		return s.synchronizeBlock()
-	}
-	if s.AMom == s.A {
+	if s.P == nil {
 		return nil
 	}
-	acc, err := s.Accelerations()
-	if err != nil {
+	clk := step.Clock{A: s.A, AMom: s.AMom}
+	if _, err := s.Stepper().Synchronize(s.forcer(), s.P, &clk); err != nil {
 		return err
 	}
-	kick := s.Par.KickFactor(s.AMom, s.A)
-	for i := range s.P.Mom {
-		s.P.Mom[i] = s.P.Mom[i].Add(acc[i].Scale(kick))
-	}
-	s.AMom = s.A
-	return nil
-}
-
-// synchronizeBlock closes the leapfrog of a block-stepped run: positions all
-// sit at the block boundary s.A, and each particle's momentum is kicked from
-// its own epoch up to it.  When every particle shares one epoch (single-rung
-// runs) the factor cache degenerates to the exact arithmetic of the global
-// Synchronize, bit for bit.
-func (s *Simulation) synchronizeBlock() error {
-	bs := s.block
-	synced := true
-	for _, am := range bs.AMom {
-		if am != s.A {
-			synced = false
-			break
-		}
-	}
-	if synced {
-		s.AMom = s.A
-		return nil
-	}
-	var moved []bool
-	if bs.MovedValid {
-		moved = bs.Moved
-	}
-	res, err := s.treeSolver.ForcesActive(s.P.Pos, s.P.Mass, s.P.Work, nil, moved)
-	if err != nil {
-		return err
-	}
-	s.LastForce = res
-	copy(s.P.Acc, res.Acc)
-	copy(s.P.Pot, res.Pot)
-	copy(s.P.Work, res.Work)
-	// The solve consumed the current positions; nothing has moved since.
-	for i := range bs.Moved {
-		bs.Moved[i] = false
-	}
-	bs.MovedValid = true
-
-	cache := step.NewFactorCache(s.Par.KickFactor)
-	cache.SetTarget(s.A)
-	for i := range s.P.Mom {
-		s.P.Mom[i] = s.P.Mom[i].Add(res.Acc[i].Scale(cache.At(bs.AMom[i])))
-		bs.AMom[i] = s.A
-	}
-	s.AMom = s.A
-	return nil
-}
-
-// blockStepOnce advances the simulation by one hierarchical block step of
-// total size dlnA (Cfg.BlockSteps rung levels).  Rungs are assigned at the
-// block start — where every particle's position sits at the same epoch —
-// from the per-particle displacement criterion; the block then runs
-// 2^maxUsedRung substeps, each computing forces only for the sinks on its
-// active rungs and drifting/kicking only those.  Inactive particles are
-// frozen, which is exactly what lets the tree rebuild and the traversal
-// reuse their subtrees bit-identically (tree.Options.Dirty,
-// traverse.Walker.SinkActive).  With every particle on rung 0 the block
-// collapses to one substep whose arithmetic — epochs, kick and drift
-// factors, update order — reproduces the global StepOnce bit for bit.
-func (s *Simulation) blockStepOnce(dlnA float64) error {
-	n := s.P.Len()
-	if s.block == nil || len(s.block.Rung) != n {
-		s.block = step.NewState(n, s.AMom)
-	}
-	bs := s.block
-
-	// Rung assignment from the current momenta: one rung-r step may move a
-	// particle at most frac of the mean interparticle separation (the
-	// per-particle form of SuggestTimestep's displacement limit).
-	maxRung := s.Cfg.BlockSteps - 1
-	frac := s.Cfg.RungDisplacementFrac
-	if frac == 0 {
-		frac = 0.1
-	}
-	sep := s.Cfg.BoxSize / float64(s.Cfg.NGrid)
-	limit := frac * sep * s.A * s.A * s.Par.Hubble(s.A)
-	for i := range bs.Rung {
-		v := s.P.Mom[i].Norm()
-		if v == 0 {
-			bs.Rung[i] = 0
-			continue
-		}
-		bs.Rung[i] = int8(step.RungFor(dlnA, limit/v, maxRung))
-	}
-
-	sched := step.Schedule{MaxRung: bs.MaxRung()}
-	nSub := sched.Substeps()
-	h := dlnA / float64(nSub)
-	nRungs := sched.MaxRung + 1
-
-	// Per-rung epochs: every rung starts the block at s.A and advances by
-	// its own span, so all rungs land on the block boundary together.
-	aPos := make([]float64, nRungs)
-	aNext := make([]float64, nRungs)
-	aHalf := make([]float64, nRungs)
-	drift := make([]float64, nRungs)
-	kicks := make([]*step.FactorCache, nRungs)
-	for r := range aPos {
-		aPos[r] = s.A
-		kicks[r] = step.NewFactorCache(s.Par.KickFactor)
-	}
-
-	aMomEnd := s.AMom
-	for k := 0; k < nSub; k++ {
-		rMin := sched.LowestActive(k)
-		nActive := 0
-		for i, r := range bs.Rung {
-			a := int(r) >= rMin
-			bs.Active[i] = a
-			if a {
-				nActive++
-			}
-		}
-		var moved []bool
-		if bs.MovedValid {
-			moved = bs.Moved
-		}
-
-		var acc []vec.V3
-		if nActive == n {
-			// Fully active substep: identical to the global force path
-			// (the moved set still prunes the tree rebuild).
-			res, err := s.treeSolver.ForcesActive(s.P.Pos, s.P.Mass, s.P.Work, nil, moved)
-			if err != nil {
-				return err
-			}
-			s.LastForce = res
-			copy(s.P.Acc, res.Acc)
-			copy(s.P.Pot, res.Pot)
-			copy(s.P.Work, res.Work)
-			acc = res.Acc
-		} else {
-			res, err := s.treeSolver.ForcesActive(s.P.Pos, s.P.Mass, s.P.Work, bs.Active, moved)
-			if err != nil {
-				return err
-			}
-			s.LastForce = res
-			for i, a := range bs.Active {
-				if a {
-					s.P.Acc[i] = res.Acc[i]
-					s.P.Pot[i] = res.Pot[i]
-					s.P.Work[i] = res.Work[i]
-				}
-			}
-			acc = res.Acc
-		}
-
-		for r := rMin; r < nRungs; r++ {
-			span := sched.Span(r)
-			an := aPos[r] * math.Exp(float64(span)*h)
-			if an > 1 {
-				an = 1
-			}
-			aNext[r] = an
-			aHalf[r] = math.Sqrt(aPos[r] * an)
-			drift[r] = s.Par.DriftFactor(aPos[r], an)
-			kicks[r].SetTarget(aHalf[r])
-		}
-		if k == 0 {
-			// Rung 0's half step is the block-level momentum epoch the
-			// global bookkeeping (and checkpoints) track.
-			aMomEnd = aHalf[0]
-		}
-
-		// Kick, then drift, each over the active particles in index order —
-		// the exact update order of the global step.
-		for i := range s.P.Mom {
-			if !bs.Active[i] {
-				continue
-			}
-			r := int(bs.Rung[i])
-			s.P.Mom[i] = s.P.Mom[i].Add(acc[i].Scale(kicks[r].At(bs.AMom[i])))
-			bs.AMom[i] = aHalf[r]
-		}
-		l := s.Cfg.BoxSize
-		for i := range s.P.Pos {
-			if !bs.Active[i] {
-				continue
-			}
-			s.P.Pos[i] = vec.WrapV(s.P.Pos[i].Add(s.P.Mom[i].Scale(drift[int(bs.Rung[i])])), l)
-		}
-		copy(bs.Moved, bs.Active)
-		bs.MovedValid = true
-		for r := rMin; r < nRungs; r++ {
-			aPos[r] = aNext[r]
-		}
-	}
-	s.A = aPos[0]
-	s.AMom = aMomEnd
-	s.StepCount++
+	s.A, s.AMom = clk.A, clk.AMom
+	s.notifySynchronize()
 	return nil
 }
 
 // Run evolves the simulation to z_final in Cfg.NSteps equal logarithmic
-// steps, calling progress (if non-nil) after every step.  The step grid is
-// anchored at the epoch the particle load was installed (AInit) and offset by
-// StepCount, both of which checkpoints preserve — so a run restored mid-way
-// finishes the remaining steps of the original grid, reproducing the
-// uninterrupted run bit for bit.
-func (s *Simulation) Run(progress func(step int, z float64)) error {
+// steps.  The step grid is anchored at the epoch the particle load was
+// installed (AInit) and offset by StepCount, both of which checkpoints
+// preserve — so a run restored mid-way finishes the remaining steps of the
+// original grid, reproducing the uninterrupted run bit for bit.  Progress
+// reporting happens through observers (WithProgress, AddObserver); the run
+// ends with a Synchronize.
+func (s *Simulation) Run() error {
 	if s.P == nil {
 		if err := s.GenerateICs(); err != nil {
 			return err
@@ -532,12 +291,9 @@ func (s *Simulation) Run(progress func(step int, z float64)) error {
 		s.AInit = aStart
 	}
 	dlnA := math.Log(aFinal/aStart) / float64(s.Cfg.NSteps)
-	for step := s.StepCount; step < s.Cfg.NSteps && s.A < aFinal-1e-12; step++ {
+	for stp := s.StepCount; stp < s.Cfg.NSteps && s.A < aFinal-1e-12; stp++ {
 		if err := s.StepOnce(dlnA); err != nil {
 			return err
-		}
-		if progress != nil {
-			progress(s.StepCount, s.Redshift())
 		}
 	}
 	return s.Synchronize()
@@ -547,14 +303,10 @@ func (s *Simulation) Run(progress func(step int, z float64)) error {
 // block (index = rung level), or nil when block stepping is inactive or no
 // block step has run yet.
 func (s *Simulation) RungHistogram() []int {
-	if s.block == nil {
-		return nil
+	if b, ok := s.stepper.(*step.Block); ok {
+		return b.RungHistogram()
 	}
-	out := make([]int, s.block.MaxRung()+1)
-	for _, r := range s.block.Rung {
-		out[r]++
-	}
-	return out
+	return nil
 }
 
 // HalveTimestep and DoubleTimestep express the paper's policy of restricting
@@ -654,15 +406,14 @@ func (s *Simulation) Snapshot() *sdf.Snapshot {
 //
 // A multi-rung block-stepped run carries one momentum epoch per particle,
 // which the snapshot format cannot represent; writing such a state blind
-// would make the restart silently integrate with wrong kick intervals, so
-// WriteCheckpoint refuses with an error instead — call Synchronize first
-// (Run already ends with one), after which the checkpoint is well-defined.
+// would make the restart silently integrate with wrong kick intervals.  The
+// stepper's CheckpointReady is consulted first and its refusal returned as
+// an error — call Synchronize before checkpointing (Run already ends with
+// one), after which the checkpoint is well-defined.
 func (s *Simulation) WriteCheckpoint(path string) error {
-	if s.block != nil {
-		for _, am := range s.block.AMom {
-			if am != s.AMom {
-				return fmt.Errorf("twohot: block-stepped momenta sit at per-particle epochs; call Synchronize before WriteCheckpoint")
-			}
+	if s.stepper != nil {
+		if err := s.stepper.CheckpointReady(s.AMom); err != nil {
+			return fmt.Errorf("twohot: %w", err)
 		}
 	}
 	return sdf.Write(path, s.Snapshot())
@@ -699,12 +450,11 @@ func (s *Simulation) RestoreCheckpoint(path string) error {
 		s.StepCount = 0
 	}
 	// The restored particles share nothing with whatever the solver last
-	// built; drop the cross-step reuse state.  Block-step state is dropped
+	// built; drop the cross-step reuse state.  Stepper state is dropped
 	// too: checkpoints are written synchronized (Run ends with Synchronize),
 	// so a restarted block-step run re-primes its per-particle momentum
 	// epochs exactly like a fresh start does.
-	s.treeSolver.ResetReuse()
-	s.block = nil
+	s.resetEngine()
 	return nil
 }
 

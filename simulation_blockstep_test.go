@@ -16,7 +16,19 @@ package twohot
 import (
 	"math"
 	"testing"
+
+	"twohot/internal/step"
 )
+
+// blockState reaches into the block-timestep engine of a simulation for the
+// per-particle integrator state (nil when the stepper is not a block engine
+// or no block has run).
+func blockState(s *Simulation) *step.State {
+	if b, ok := s.Stepper().(*step.Block); ok {
+		return b.State()
+	}
+	return nil
+}
 
 // blockConfig is smallConfig tuned so a handful of steps finishes quickly
 // under -race while still exercising the periodic tree path.
@@ -35,7 +47,7 @@ func runSim(t *testing.T, cfg Config) *Simulation {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sim.Run(nil); err != nil {
+	if err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
 	return sim
@@ -70,11 +82,11 @@ func TestBlockStepAllRungZeroMatchesGlobal(t *testing.T) {
 	loose.BlockSteps = 4
 	loose.RungDisplacementFrac = 1e12
 	got := runSim(t, loose)
-	if got.block == nil {
+	if blockState(got) == nil {
 		t.Fatal("block-step run kept no block state")
 	}
-	if got.block.MaxRung() != 0 {
-		t.Fatalf("loose criterion still assigned rungs up to %d", got.block.MaxRung())
+	if blockState(got).MaxRung() != 0 {
+		t.Fatalf("loose criterion still assigned rungs up to %d", blockState(got).MaxRung())
 	}
 	assertBitIdentical(t, "blocksteps=4/loose", ref, got)
 }
@@ -119,7 +131,7 @@ func TestBlockStepMultiRung(t *testing.T) {
 	}
 
 	occupied := map[int8]bool{}
-	for _, r := range sim.block.Rung {
+	for _, r := range blockState(sim).Rung {
 		occupied[r] = true
 	}
 	if len(occupied) < 2 {
@@ -186,7 +198,7 @@ func TestBlockStepCheckpointGate(t *testing.T) {
 	if err := sim.StepOnce(dlnA); err != nil {
 		t.Fatal(err)
 	}
-	if sim.block.MaxRung() == 0 {
+	if blockState(sim).MaxRung() == 0 {
 		t.Skip("criterion produced a single rung; gate not exercisable")
 	}
 	path := t.TempDir() + "/mid.sdf"

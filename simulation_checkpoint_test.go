@@ -41,13 +41,14 @@ func TestCheckpointContinuityBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := full.Run(func(step int, z float64) {
+	full.AddObserver(ProgressObserver(func(step int, z float64) {
 		if step == 3 {
 			if err := full.WriteCheckpoint(path); err != nil {
 				t.Errorf("mid-run checkpoint: %v", err)
 			}
 		}
-	}); err != nil {
+	}))
+	if err := full.Run(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -66,7 +67,7 @@ func TestCheckpointContinuityBitIdentical(t *testing.T) {
 	if resumed.AMom == resumed.A {
 		t.Fatal("checkpoint lost the leapfrog offset")
 	}
-	if err := resumed.Run(nil); err != nil {
+	if err := resumed.Run(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -128,7 +129,7 @@ func TestRestoreLegacyCheckpointStartsFreshGrid(t *testing.T) {
 		t.Fatalf("legacy checkpoint restored step=%d a_init=%g; want a fresh grid (0, 0)",
 			restored.StepCount, restored.AInit)
 	}
-	if err := restored.Run(nil); err != nil {
+	if err := restored.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if restored.StepCount != cfg.NSteps {

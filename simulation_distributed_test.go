@@ -133,10 +133,10 @@ func TestDistributedRunStepsMatchSerial(t *testing.T) {
 	}
 	dist.SetParticles(initial, a0)
 
-	if err := serial.Run(nil); err != nil {
+	if err := serial.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if err := dist.Run(nil); err != nil {
+	if err := dist.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if dist.A != serial.A {

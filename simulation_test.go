@@ -122,7 +122,7 @@ func TestLinearGrowth(t *testing.T) {
 	measure := func() []grid.PowerSpectrumResult { return sim.PowerSpectrum(32) }
 	p0 := measure()
 
-	if err := sim.Run(nil); err != nil {
+	if err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
 	p1 := measure()

@@ -1,0 +1,277 @@
+package twohot
+
+import (
+	"fmt"
+
+	"twohot/internal/core"
+	"twohot/internal/cosmo"
+	"twohot/internal/particle"
+	"twohot/internal/pm"
+	"twohot/internal/vec"
+)
+
+// Capabilities reports what a ForceSolver backend supports, so the stepping
+// engines and callers can gate features on it instead of switching on the
+// backend kind.
+type Capabilities struct {
+	// ActiveSubsets: ActiveForces accepts a non-nil active mask and solves
+	// only those sinks against the full source set (the block-timestep
+	// entry point).  Solvers without it reject non-nil masks with an error.
+	ActiveSubsets bool `json:"active_subsets"`
+	// Incremental: consecutive solves on the same solver reuse cross-call
+	// state (sorted particle order, clean subtrees keyed on the moved
+	// mask), bit-identically to a from-scratch solve.
+	Incremental bool `json:"incremental"`
+	// WorkFeedback: Result.Work carries per-particle interaction counts and
+	// the solver consumes the set's Work weights to balance its internal
+	// schedule (never changing a result bit).
+	WorkFeedback bool `json:"work_feedback"`
+	// Potential: Result.Pot is filled with kernel sums.
+	Potential bool `json:"potential"`
+}
+
+// ForceSolver is the pluggable gravity backend of a Simulation: one contract
+// implemented by the 2HOT tree, the TreePM composite, the pure particle-mesh
+// baseline and the direct-summation reference.  A Simulation holds exactly
+// one ForceSolver, constructed lazily from its Config or injected with
+// WithSolver.
+//
+// Both solve methods return results in the set's particle order.  They do not
+// write into the set's Acc/Pot/Work arrays — the caller scatters what it
+// needs (the stepping engines write all slots of a full solve and only the
+// active slots of a subset solve).  Backends that redistribute particles
+// (the distributed tree) regroup the set in place, all arrays together, so
+// callers holding an older ordering must match by ID.
+//
+// A ForceSolver may be stateful across calls (Capabilities.Incremental) and
+// must not be used from multiple goroutines concurrently.
+type ForceSolver interface {
+	// Name identifies the backend ("tree", "treepm", "pm", "direct").
+	Name() string
+	// Capabilities reports the backend's feature support honestly: callers
+	// rely on it to gate ActiveForces masks and to interpret nil Result
+	// arrays.
+	Capabilities() Capabilities
+	// Accelerations computes comoving accelerations for every particle.
+	Accelerations(p *particle.Set) (*core.Result, error)
+	// ActiveForces is Accelerations restricted to the sinks marked in
+	// active (nil = every particle), with moved marking the particles whose
+	// positions changed since this solver's previous call (nil = unknown).
+	// Solvers without Capabilities.ActiveSubsets return an error for a
+	// non-nil active mask; a nil mask is always accepted.
+	ActiveForces(p *particle.Set, active, moved []bool) (*core.Result, error)
+	// Reset drops cross-call reuse state, as after installing an unrelated
+	// particle load.  Purely hygiene: stale state cannot change results.
+	Reset()
+}
+
+// NewForceSolver constructs the force solver a configuration describes —
+// the single place the SolverKind dispatch lives.  The returned solver is
+// lazy: the heavy backend state (tree staging buffers, mesh planning) is
+// allocated on the first solve, so constructing a solver for inspection is
+// free.
+func NewForceSolver(cfg Config) (ForceSolver, error) {
+	switch cfg.Solver {
+	case SolverTree:
+		if cfg.Ranks > 1 {
+			return NewDistributedTreeForceSolver(cfg.treeConfig(), cfg.Ranks), nil
+		}
+		return NewTreeForceSolver(cfg.treeConfig()), nil
+	case SolverTreePM, SolverPM:
+		return NewPMForceSolver(cfg.pmOptions()), nil
+	case SolverDirect:
+		return NewDirectForceSolver(core.DirectSolver{
+			Kernel: cfg.kernel(), Eps: cfg.SofteningLength(), G: cosmo.G,
+			Periodic: true, BoxSize: cfg.BoxSize,
+		}), nil
+	default:
+		return nil, fmt.Errorf("twohot: unknown solver %q", cfg.Solver)
+	}
+}
+
+// treeForceSolver adapts the shared-memory core.TreeSolver.
+type treeForceSolver struct {
+	cfg core.TreeConfig
+	ts  *core.TreeSolver
+}
+
+// NewTreeForceSolver wraps the shared-memory 2HOT tree solver as a
+// ForceSolver.  The underlying solver is constructed on the first solve.
+func NewTreeForceSolver(cfg core.TreeConfig) ForceSolver {
+	return &treeForceSolver{cfg: cfg}
+}
+
+func (t *treeForceSolver) solver() *core.TreeSolver {
+	if t.ts == nil {
+		t.ts = core.NewTreeSolver(t.cfg)
+	}
+	return t.ts
+}
+
+func (t *treeForceSolver) Name() string { return string(SolverTree) }
+
+func (t *treeForceSolver) Capabilities() Capabilities {
+	return Capabilities{
+		ActiveSubsets: true,
+		Incremental:   t.cfg.Incremental,
+		WorkFeedback:  true,
+		Potential:     true,
+	}
+}
+
+func (t *treeForceSolver) Accelerations(p *particle.Set) (*core.Result, error) {
+	return t.ActiveForces(p, nil, nil)
+}
+
+func (t *treeForceSolver) ActiveForces(p *particle.Set, active, moved []bool) (*core.Result, error) {
+	return t.solver().ForcesActive(p.Pos, p.Mass, p.Work, active, moved)
+}
+
+func (t *treeForceSolver) Reset() {
+	if t.ts != nil {
+		t.ts.ResetReuse()
+	}
+}
+
+// distTreeForceSolver runs every solve through the message-passing
+// DistributedStep pipeline on in-process ranks.
+type distTreeForceSolver struct {
+	cfg   core.TreeConfig
+	ranks int
+	ts    *core.TreeSolver // only for its defaulted Cfg
+}
+
+// NewDistributedTreeForceSolver wraps the distributed tree pipeline
+// (core.DistributedStep on ranks in-process ranks) as a ForceSolver.  Every
+// solve regroups the particle set by owning rank in place: positions,
+// momenta, accelerations and work travel together, so stepping continues
+// transparently, but callers holding a prior ordering must match by ID.  The
+// domain decomposition balances the per-particle work recorded by the
+// previous solve (carried in Set.Work across the exchange) — the paper's
+// cross-step amortization.
+func NewDistributedTreeForceSolver(cfg core.TreeConfig, ranks int) ForceSolver {
+	return &distTreeForceSolver{cfg: cfg, ranks: ranks}
+}
+
+func (t *distTreeForceSolver) Name() string { return string(SolverTree) }
+
+func (t *distTreeForceSolver) Capabilities() Capabilities {
+	// Active subsets and incremental rebuilds stop at the rank boundary for
+	// now (ROADMAP: let DistributedStep carry activity masks).
+	return Capabilities{WorkFeedback: true, Potential: true}
+}
+
+func (t *distTreeForceSolver) treeCfg() core.TreeConfig {
+	if t.ts == nil {
+		t.ts = core.NewTreeSolver(t.cfg) // applies the TreeConfig defaults
+	}
+	return t.ts.Cfg
+}
+
+func (t *distTreeForceSolver) Accelerations(p *particle.Set) (*core.Result, error) {
+	return t.ActiveForces(p, nil, nil)
+}
+
+func (t *distTreeForceSolver) ActiveForces(p *particle.Set, active, moved []bool) (*core.Result, error) {
+	if active != nil {
+		return nil, fmt.Errorf("twohot: the distributed tree solver does not support active-subset solves")
+	}
+	res, err := core.DistributedStep(p, core.DistributedConfig{
+		Tree:           t.treeCfg(),
+		NRanks:         t.ranks,
+		BranchExchange: "ring",
+		UseWorkWeights: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Regroup in place so the caller's Set pointer stays valid.
+	*p = *res.ParticlesOut
+	return &core.Result{
+		Acc:      p.Acc,
+		Pot:      p.Pot,
+		Work:     p.Work,
+		Counters: res.Counters,
+		Timings:  res.Timings,
+	}, nil
+}
+
+func (t *distTreeForceSolver) Reset() {}
+
+// pmForceSolver adapts the particle-mesh / TreePM solver.
+type pmForceSolver struct {
+	opt pm.Options
+	ps  *pm.Solver
+}
+
+// NewPMForceSolver wraps the mesh solver as a ForceSolver: pure PM when
+// opt.Asmth == 0, the TreePM-style composite (Gaussian-split mesh long range
+// plus erfc-complement short range) otherwise.  Mesh state is allocated per
+// solve, so construction is free.
+func NewPMForceSolver(opt pm.Options) ForceSolver {
+	return &pmForceSolver{opt: opt}
+}
+
+func (s *pmForceSolver) solver() *pm.Solver {
+	if s.ps == nil {
+		s.ps = pm.NewSolver(s.opt)
+	}
+	return s.ps
+}
+
+func (s *pmForceSolver) Name() string {
+	if s.opt.Asmth > 0 {
+		return string(SolverTreePM)
+	}
+	return string(SolverPM)
+}
+
+func (s *pmForceSolver) Capabilities() Capabilities { return Capabilities{} }
+
+func (s *pmForceSolver) Accelerations(p *particle.Set) (*core.Result, error) {
+	return s.ActiveForces(p, nil, nil)
+}
+
+func (s *pmForceSolver) ActiveForces(p *particle.Set, active, moved []bool) (*core.Result, error) {
+	if active != nil {
+		return nil, fmt.Errorf("twohot: the %s solver does not support active-subset solves", s.Name())
+	}
+	if p.Len() == 0 {
+		return &core.Result{}, nil
+	}
+	acc := make([]vec.V3, p.Len())
+	s.solver().Accelerations(p.Pos, p.Mass[0], acc)
+	return &core.Result{Acc: acc}, nil
+}
+
+func (s *pmForceSolver) Reset() {}
+
+// directForceSolver adapts the O(N^2) reference.
+type directForceSolver struct {
+	d core.DirectSolver
+}
+
+// NewDirectForceSolver wraps the direct-summation reference (brute-force
+// Ewald for periodic configurations) as a ForceSolver.
+func NewDirectForceSolver(d core.DirectSolver) ForceSolver {
+	return &directForceSolver{d: d}
+}
+
+func (s *directForceSolver) Name() string { return string(SolverDirect) }
+
+func (s *directForceSolver) Capabilities() Capabilities {
+	return Capabilities{Potential: true}
+}
+
+func (s *directForceSolver) Accelerations(p *particle.Set) (*core.Result, error) {
+	return s.ActiveForces(p, nil, nil)
+}
+
+func (s *directForceSolver) ActiveForces(p *particle.Set, active, moved []bool) (*core.Result, error) {
+	if active != nil {
+		return nil, fmt.Errorf("twohot: the direct solver does not support active-subset solves")
+	}
+	return s.d.Forces(p.Pos, p.Mass)
+}
+
+func (s *directForceSolver) Reset() {}

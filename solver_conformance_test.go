@@ -1,0 +1,295 @@
+package twohot
+
+// Solver-conformance suite: every ForceSolver backend must honor the same
+// contract — honest capability reporting (nil Result arrays and ActiveForces
+// rejection must match what Capabilities claims), worker-count determinism,
+// and momentum conservation at force-error level — plus a regression pin
+// that the tree adapter reproduces the pre-redesign inline Accelerations
+// path bit for bit.
+
+import (
+	"math"
+	"testing"
+
+	"twohot/internal/core"
+	"twohot/internal/cosmo"
+	"twohot/internal/step"
+	"twohot/internal/vec"
+)
+
+// conformanceConfig is a tiny periodic box every backend can solve quickly
+// (the direct backend pays brute-force Ewald per particle pair).
+func conformanceConfig(kind SolverKind) Config {
+	cfg := DefaultConfig()
+	cfg.NGrid = 8
+	cfg.BoxSize = 64
+	cfg.ZInit = 19
+	cfg.ZFinal = 4
+	cfg.NSteps = 4
+	cfg.ErrTol = 1e-4
+	cfg.WS = 1
+	cfg.LatticeOrder = 0
+	cfg.PMGrid = 16
+	cfg.Solver = kind
+	return cfg
+}
+
+func conformanceSim(t *testing.T, cfg Config) *Simulation {
+	t.Helper()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.GenerateICs(); err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestSolverConformance(t *testing.T) {
+	// Momentum-conservation tolerances (|Σ m·a| / Σ m·|a|): the pairwise
+	// backends are antisymmetric to roundoff; the tree's sink-centred MAC
+	// breaks action/reaction pairs at force-error level; the mesh backend
+	// sits in between (CIC + spectral gradient asymmetries).
+	momTol := map[SolverKind]float64{
+		SolverTree:   2e-3,
+		SolverTreePM: 1e-9,
+		SolverPM:     1e-9,
+		SolverDirect: 1e-9,
+	}
+	for _, kind := range []SolverKind{SolverTree, SolverTreePM, SolverPM, SolverDirect} {
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := conformanceConfig(kind)
+			cfg.Workers = 1
+			if kind == SolverDirect {
+				if testing.Short() {
+					t.Skip("the brute-force Ewald reference is slow")
+				}
+				// Every pair pays a full Ewald lattice sum (~1 ms); keep the
+				// reference run at 64 particles.
+				cfg.NGrid = 4
+			}
+			sim := conformanceSim(t, cfg)
+			acc, err := sim.Accelerations()
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps := sim.Solver().Capabilities()
+			res := sim.LastForce
+
+			if sim.Solver().Name() != string(kind) {
+				t.Errorf("solver name %q, want %q", sim.Solver().Name(), kind)
+			}
+
+			// Capability honesty: nil Result arrays must match the claims.
+			if got := res.Pot != nil; got != caps.Potential {
+				t.Errorf("Result.Pot presence %v contradicts Capabilities.Potential %v", got, caps.Potential)
+			}
+			if got := res.Work != nil; got != caps.WorkFeedback {
+				t.Errorf("Result.Work presence %v contradicts Capabilities.WorkFeedback %v", got, caps.WorkFeedback)
+			}
+
+			// ActiveForces honesty: a non-nil mask must be accepted exactly
+			// when ActiveSubsets is claimed; a nil mask always works.
+			mask := make([]bool, sim.P.Len())
+			mask[0] = true
+			_, err = sim.Solver().ActiveForces(sim.P, mask, nil)
+			if caps.ActiveSubsets && err != nil {
+				t.Errorf("ActiveForces rejected a mask despite ActiveSubsets: %v", err)
+			}
+			if !caps.ActiveSubsets && err == nil {
+				t.Error("ActiveForces accepted a mask despite !ActiveSubsets")
+			}
+			if _, err := sim.Solver().ActiveForces(sim.P, nil, nil); err != nil {
+				t.Errorf("ActiveForces with a nil mask failed: %v", err)
+			}
+
+			// Momentum conservation: gravity is internal, so the
+			// mass-weighted accelerations must sum to ~zero.
+			var fSum vec.V3
+			fScale := 0.0
+			for i := range acc {
+				fSum = fSum.Add(acc[i].Scale(sim.P.Mass[i]))
+				fScale += sim.P.Mass[i] * acc[i].Norm()
+			}
+			if rel := fSum.Norm() / fScale; rel > momTol[kind] {
+				t.Errorf("net force %.3e of the force scale exceeds %.1e", rel, momTol[kind])
+			} else {
+				t.Logf("net force: %.3e of the force scale", rel)
+			}
+
+			// Determinism across worker counts: bit-identical accelerations.
+			wcfg := cfg
+			wcfg.Workers = 3
+			wsim := conformanceSim(t, wcfg)
+			wacc, err := wsim.Accelerations()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range acc {
+				if acc[i] != wacc[i] {
+					t.Fatalf("particle %d: workers=1 and workers=3 disagree: %v vs %v", i, acc[i], wacc[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSolverLazyConstruction pins the lazy-engine satellite: New must not
+// build any solver or stepper (a pure tree run allocates no PM mesh, a pure
+// PM run no tree), and the first use must build exactly the configured
+// backend.
+func TestSolverLazyConstruction(t *testing.T) {
+	for _, kind := range []SolverKind{SolverTree, SolverPM} {
+		cfg := conformanceConfig(kind)
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.solver != nil || sim.stepper != nil {
+			t.Fatalf("%s: New constructed engine pieces eagerly", kind)
+		}
+		if name := sim.Solver().Name(); name != string(kind) {
+			t.Fatalf("lazily built solver %q, want %q", name, kind)
+		}
+	}
+	// The adapters themselves defer backend construction until the first
+	// solve.
+	fs := NewTreeForceSolver(core.TreeConfig{})
+	if ts := fs.(*treeForceSolver).ts; ts != nil {
+		t.Error("tree adapter built its core.TreeSolver before the first solve")
+	}
+	pmCfg := conformanceConfig(SolverPM)
+	ps := NewPMForceSolver(pmCfg.pmOptions())
+	if p := ps.(*pmForceSolver).ps; p != nil {
+		t.Error("pm adapter built its pm.Solver before the first solve")
+	}
+}
+
+// TestBlockStepsRejectIncapableSolver pins the capability gate on injection:
+// block stepping demands active-subset support.
+func TestBlockStepsRejectIncapableSolver(t *testing.T) {
+	cfg := conformanceConfig(SolverTree)
+	cfg.BlockSteps = 2
+	direct := NewDirectForceSolver(core.DirectSolver{
+		Kernel: cfg.kernel(), Eps: cfg.SofteningLength(), G: cosmo.G,
+		Periodic: true, BoxSize: cfg.BoxSize,
+	})
+	if _, err := New(cfg, WithSolver(direct)); err == nil {
+		t.Fatal("New accepted block stepping with a solver lacking active-subset support")
+	}
+	if _, err := New(cfg, WithSolver(NewTreeForceSolver(cfg.treeConfig()))); err != nil {
+		t.Fatalf("New rejected a capable injected solver: %v", err)
+	}
+
+	// The gate must also see block stepping that arrives via an injected
+	// engine rather than Config.BlockSteps: a PM-configured simulation
+	// handed a block stepper must fail at construction, not mid-run.
+	pmCfg := conformanceConfig(SolverPM)
+	sim, err := New(pmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := pmCfg.BoxSize / float64(pmCfg.NGrid)
+	blockEng := step.NewBlock(sim.Par, pmCfg.BoxSize, sep, 3, 0.01)
+	if _, err := New(pmCfg, WithStepper(blockEng)); err == nil {
+		t.Fatal("New accepted an injected block stepper over a solver lacking active-subset support")
+	}
+}
+
+// TestTreeAdapterBitIdenticalToLegacyPath is the redesign's regression pin:
+// stepping through the ForceSolver/Stepper engine must reproduce, bit for
+// bit, the pre-redesign inline path — an eagerly built core.TreeSolver
+// driven by the old StepOnce arithmetic (force solve, scatter, half-step
+// kick, full-step drift) and the old closing Synchronize.
+func TestTreeAdapterBitIdenticalToLegacyPath(t *testing.T) {
+	cfg := conformanceConfig(SolverTree)
+	sim := conformanceSim(t, cfg)
+
+	// The legacy replica: the solver exactly as buildSolvers constructed it,
+	// stepped by the old inline integrator over a clone of the same ICs.
+	legacy := core.NewTreeSolver(core.TreeConfig{
+		Order:                 cfg.Order,
+		ErrTol:                cfg.ErrTol,
+		MAC:                   cfg.macType(),
+		Theta:                 cfg.Theta,
+		Kernel:                cfg.kernel(),
+		Eps:                   cfg.SofteningLength(),
+		G:                     cosmo.G,
+		Periodic:              true,
+		BoxSize:               cfg.BoxSize,
+		BackgroundSubtraction: cfg.BackgroundSubtraction,
+		WS:                    cfg.WS,
+		LatticeOrder:          cfg.LatticeOrder,
+		Workers:               cfg.Workers,
+		Incremental:           cfg.Incremental,
+	})
+	lp := sim.P.Clone()
+	la, laMom := sim.A, sim.AMom
+
+	legacySolve := func() []vec.V3 {
+		res, err := legacy.ForcesWithWork(lp.Pos, lp.Mass, lp.Work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(lp.Acc, res.Acc)
+		copy(lp.Pot, res.Pot)
+		copy(lp.Work, res.Work)
+		return res.Acc
+	}
+
+	aFinal := 1 / (1 + cfg.ZFinal)
+	dlnA := math.Log(aFinal/la) / float64(cfg.NSteps)
+	for stepNo := 0; stepNo < cfg.NSteps; stepNo++ {
+		// New path.
+		if err := sim.StepOnce(dlnA); err != nil {
+			t.Fatal(err)
+		}
+		// Legacy path (the pre-redesign Simulation.StepOnce body).
+		aNow := la
+		aNext := aNow * math.Exp(dlnA)
+		if aNext > 1 {
+			aNext = 1
+		}
+		aHalfNext := math.Sqrt(aNow * aNext)
+		acc := legacySolve()
+		kick := sim.Par.KickFactor(laMom, aHalfNext)
+		for i := range lp.Mom {
+			lp.Mom[i] = lp.Mom[i].Add(acc[i].Scale(kick))
+		}
+		laMom = aHalfNext
+		drift := sim.Par.DriftFactor(aNow, aNext)
+		for i := range lp.Pos {
+			lp.Pos[i] = vec.WrapV(lp.Pos[i].Add(lp.Mom[i].Scale(drift)), cfg.BoxSize)
+		}
+		la = aNext
+
+		if sim.A != la || sim.AMom != laMom {
+			t.Fatalf("step %d: epochs diverged: a %v/%v a_mom %v/%v", stepNo, sim.A, la, sim.AMom, laMom)
+		}
+		for i := range lp.Pos {
+			if sim.P.Pos[i] != lp.Pos[i] || sim.P.Mom[i] != lp.Mom[i] {
+				t.Fatalf("step %d particle %d: adapter path diverged from the legacy path:\n  pos %v vs %v\n  mom %v vs %v",
+					stepNo, i, sim.P.Pos[i], lp.Pos[i], sim.P.Mom[i], lp.Mom[i])
+			}
+		}
+	}
+
+	// Closing synchronization (the pre-redesign Simulation.Synchronize body).
+	if err := sim.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if laMom != la {
+		acc := legacySolve()
+		kick := sim.Par.KickFactor(laMom, la)
+		for i := range lp.Mom {
+			lp.Mom[i] = lp.Mom[i].Add(acc[i].Scale(kick))
+		}
+		laMom = la
+	}
+	for i := range lp.Mom {
+		if sim.P.Mom[i] != lp.Mom[i] {
+			t.Fatalf("synchronize: particle %d momentum diverged: %v vs %v", i, sim.P.Mom[i], lp.Mom[i])
+		}
+	}
+}
