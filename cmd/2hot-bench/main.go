@@ -19,6 +19,7 @@ import (
 	"twohot/internal/domain"
 	"twohot/internal/multipole"
 	"twohot/internal/particle"
+	"twohot/internal/pm"
 	"twohot/internal/softening"
 	"twohot/internal/traverse"
 	"twohot/internal/tree"
@@ -767,9 +768,12 @@ func runBlockstep(outPath string) error {
 
 // solverResult is one row of the solver-sweep report: wall time and force
 // error vs the direct (brute-force Ewald) reference for one backend, solved
-// through the unified ForceSolver interface.
+// through the unified ForceSolver interface.  Asmth/RCut identify the force
+// split of treepm-family rows (the -asmth/-rcut sweep columns).
 type solverResult struct {
 	Solver       string              `json:"solver"`
+	Asmth        float64             `json:"asmth,omitempty"`
+	RCut         float64             `json:"rcut,omitempty"`
 	WallMs       float64             `json:"wall_ms"`
 	RMSError     float64             `json:"rms_force_error_vs_direct"`
 	MaxError     float64             `json:"max_force_error_vs_direct"`
@@ -817,12 +821,8 @@ func runSolverSweep(outPath string) error {
 		base.NGrid, base.ZInit, base.BoxSize, report.Cores)
 
 	var ref []vec.V3
-	for _, kind := range []twohot.SolverKind{
-		twohot.SolverDirect, twohot.SolverTree, twohot.SolverTreePM, twohot.SolverPM,
-	} {
-		cfg := base
-		cfg.Solver = kind
-		sim, err := twohot.New(cfg)
+	solveOne := func(cfg twohot.Config, label string, opts ...twohot.Option) error {
+		sim, err := twohot.New(cfg, opts...)
 		if err != nil {
 			return err
 		}
@@ -835,20 +835,73 @@ func runSolverSweep(outPath string) error {
 			return err
 		}
 		wall := time.Since(start)
-		if kind == twohot.SolverDirect {
+		if ref == nil {
 			ref = append([]vec.V3(nil), acc...)
 		}
 		stats := core.CompareAccelerations(acc, ref)
 		res := solverResult{
-			Solver:       sim.Solver().Name(),
+			Solver:       label,
 			WallMs:       float64(wall.Nanoseconds()) / 1e6,
 			RMSError:     stats.RMS,
 			MaxError:     stats.Max,
 			Capabilities: sim.Solver().Capabilities(),
 		}
+		if cfg.Solver == twohot.SolverTreePM {
+			res.Asmth = cfg.Asmth
+			res.RCut = cfg.RCut
+			if res.RCut == 0 {
+				res.RCut = 4.5
+			}
+		}
 		report.Results = append(report.Results, res)
-		fmt.Printf("  %-7s %9.1f ms  rms err %.3e  max err %.3e\n",
-			res.Solver, res.WallMs, res.RMSError, res.MaxError)
+		fmt.Printf("  %-22s %9.1f ms  rms err %.3e  max err %.3e\n",
+			label, res.WallMs, res.RMSError, res.MaxError)
+		return nil
+	}
+
+	// The four backends of the error/cost ladder.  treepm is now the
+	// tree-short-range composite; the retired brute-force short range follows
+	// as the "treepm-direct-sr" oracle row (the previous mesh-limited
+	// configuration, exact within the split).
+	for _, kind := range []twohot.SolverKind{
+		twohot.SolverDirect, twohot.SolverTree, twohot.SolverTreePM, twohot.SolverPM,
+	} {
+		cfg := base
+		cfg.Solver = kind
+		if err := solveOne(cfg, string(kind)); err != nil {
+			return err
+		}
+	}
+	{
+		cfg := base
+		cfg.Solver = twohot.SolverTreePM
+		oracle := twohot.NewPMForceSolver(pm.Options{
+			Mesh:          cfg.PMGrid,
+			BoxSize:       cfg.BoxSize,
+			DeconvolveCIC: true,
+			Asmth:         cfg.Asmth,
+			RCut:          4.5,
+			Eps:           cfg.SofteningLength(),
+			Workers:       cfg.Workers,
+		})
+		if err := solveOne(cfg, "treepm-direct-sr", twohot.WithSolver(oracle)); err != nil {
+			return err
+		}
+	}
+
+	// Split-parameter sweep of the composite: wider cutoffs and stronger
+	// smoothing trade short-range wall time against transition-region error.
+	for _, sw := range []struct{ asmth, rcut float64 }{
+		{1.25, 6.0}, {2.0, 5.0}, {2.0, 6.0},
+	} {
+		cfg := base
+		cfg.Solver = twohot.SolverTreePM
+		cfg.Asmth = sw.asmth
+		cfg.RCut = sw.rcut
+		label := fmt.Sprintf("treepm a=%g rc=%g", sw.asmth, sw.rcut)
+		if err := solveOne(cfg, label); err != nil {
+			return err
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

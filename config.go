@@ -60,6 +60,7 @@ type Config struct {
 	Softening             float64    `json:"softening"`      // absolute override (Mpc/h)
 	PMGrid                int        `json:"pm_grid"`        // mesh for pm/treepm
 	Asmth                 float64    `json:"asmth"`          // treepm split in mesh cells
+	RCut                  float64    `json:"rcut,omitempty"` // treepm short-range cutoff in units of the split scale (0 = 4.5)
 	Workers               int        `json:"workers"`        // goroutines for tree build + traversal (0 = GOMAXPROCS)
 	// Incremental reuses each step's sorted particle order to seed the next
 	// step's tree build (bit-identical to a from-scratch build; near-static
@@ -163,14 +164,26 @@ func (c *Config) Validate() error {
 	if c.BlockSteps < 0 || c.BlockSteps > step.MaxRungs {
 		return fmt.Errorf("config: block_steps must be between 0 and %d", step.MaxRungs)
 	}
-	if c.BlockSteps > 0 && c.Solver != SolverTree {
-		return fmt.Errorf("config: block_steps requires the tree solver, not %q", c.Solver)
+	if c.BlockSteps > 0 && c.Solver != SolverTree && c.Solver != SolverTreePM {
+		return fmt.Errorf("config: block_steps requires a tree-based solver (tree or treepm), not %q", c.Solver)
 	}
 	if c.BlockSteps > 0 && c.Ranks > 1 {
 		return fmt.Errorf("config: block_steps and ranks > 1 are mutually exclusive")
 	}
 	if c.RungDisplacementFrac < 0 {
 		return fmt.Errorf("config: rung_displacement_frac must not be negative")
+	}
+	if c.RCut < 0 {
+		return fmt.Errorf("config: rcut must not be negative")
+	}
+	if c.Solver == SolverTreePM {
+		// The short-range walk covers replica images with a single shell, so
+		// the truncation radius must stay inside the half box.
+		opt := c.pmOptions()
+		if rcut := opt.RCut * opt.Asmth * c.BoxSize / float64(opt.Mesh); rcut >= c.BoxSize/2 {
+			return fmt.Errorf("config: treepm short-range cutoff %g reaches half the box %g; raise pm_grid or lower asmth/rcut",
+				rcut, c.BoxSize/2)
+		}
 	}
 	return nil
 }
@@ -210,13 +223,36 @@ func (c *Config) pmOptions() pm.Options {
 	} else if asmth == 0 {
 		asmth = 1.25
 	}
+	rcut := c.RCut
+	if rcut == 0 {
+		rcut = 4.5
+	}
 	return pm.Options{
 		Mesh:          mesh,
 		BoxSize:       c.BoxSize,
 		DeconvolveCIC: true,
 		Asmth:         asmth,
+		RCut:          rcut,
 		Eps:           c.SofteningLength(),
+		Workers:       c.Workers,
 	}
+}
+
+// treePMTreeConfig derives the short-range tree configuration of the TreePM
+// composite: the force-split scale comes from the mesh options, background
+// subtraction and the far lattice are disabled (the mesh owns the mean
+// density and the infinite replica sum), and a single replica shell covers
+// the cutoff (Validate pins it inside the half box).
+func (c *Config) treePMTreeConfig() core.TreeConfig {
+	tc := c.treeConfig()
+	opt := c.pmOptions()
+	rs := opt.Asmth * c.BoxSize / float64(opt.Mesh)
+	tc.BackgroundSubtraction = false
+	tc.LatticeOrder = 0
+	tc.WS = 1
+	tc.SplitRS = rs
+	tc.SplitRCut = opt.RCut * rs
+	return tc
 }
 
 // macType converts the MAC string.

@@ -34,6 +34,17 @@
 // (TestTreeAdapterBitIdenticalToLegacyPath), and the public surface itself
 // is now guarded by a golden listing (api.txt, TestAPISurface).
 //
+// # Migration note (TreePM tree short range)
+//
+// Config.Solver = "treepm" now composes the mesh long range with a
+// tree-walked short range (NewTreePMForceSolver): the traversal evaluates
+// multipoles and pairs through the erfc split kernel and prunes cells wholly
+// beyond the cutoff Config.RCut (in units of the split scale, default 4.5).
+// The former brute-force cell-list short range remains available as an
+// injectable oracle, NewPMForceSolver(opt) with opt.Asmth > 0.  pm.Options
+// also gained a Workers field; its zero value keeps the previous behavior
+// (GOMAXPROCS), so existing literals compile and run unchanged.
+//
 // The algorithmic machinery lives in the internal packages:
 //
 //	internal/keys       space-filling-curve keys (the "hashed" in HOT)

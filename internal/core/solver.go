@@ -88,6 +88,16 @@ type TreeConfig struct {
 	// fast path then replaces the radix sort; the built tree — and hence
 	// every force — is bit-identical to a from-scratch solve regardless.
 	Incremental bool
+
+	// SplitRS, when positive, runs every traversal in TreePM short-range
+	// mode (traverse.Config.SplitRS): erfc-complement damping at split scale
+	// SplitRS, exact pair truncation and cell pruning at SplitRCut (defaults
+	// to 4.5*SplitRS).  A configuration composing with a mesh long range
+	// must keep BackgroundSubtraction and LatticeOrder off — the mesh owns
+	// the long-range field, including the mean density and the infinite
+	// replica sum.
+	SplitRS   float64
+	SplitRCut float64
 }
 
 func (c *TreeConfig) defaults() {
@@ -111,6 +121,9 @@ func (c *TreeConfig) defaults() {
 	}
 	if c.Periodic && c.WS == 0 {
 		c.WS = 1
+	}
+	if c.SplitRS > 0 && c.SplitRCut == 0 {
+		c.SplitRCut = 4.5 * c.SplitRS
 	}
 }
 
@@ -277,6 +290,8 @@ func (s *TreeSolver) ForcesActive(pos []vec.V3, mass []float64, work []float64, 
 		BoxSize:      cfg.BoxSize,
 		WS:           cfg.WS,
 		LatticeOrder: cfg.LatticeOrder,
+		SplitRS:      cfg.SplitRS,
+		SplitRCut:    cfg.SplitRCut,
 	}
 	// Walker setup happens outside the traversal window so that
 	// Timings.Total - Timings.TreeTraversal isolates the per-step rebuild
@@ -377,6 +392,8 @@ func (s *TreeSolver) ForceAt(x vec.V3) (vec.V3, float64, error) {
 		BoxSize:      cfg.BoxSize,
 		WS:           cfg.WS,
 		LatticeOrder: cfg.LatticeOrder,
+		SplitRS:      cfg.SplitRS,
+		SplitRCut:    cfg.SplitRCut,
 	}
 	w := traverse.NewWalker(s.LastTree, walkCfg)
 	a, p := w.ForceAt(x)

@@ -15,6 +15,7 @@ import (
 	"twohot/internal/cosmo"
 	"twohot/internal/fft"
 	"twohot/internal/grid"
+	"twohot/internal/softening"
 	"twohot/internal/vec"
 )
 
@@ -31,6 +32,10 @@ type Options struct {
 	RCut float64
 	// Eps is the short-range Plummer-equivalent softening length.
 	Eps float64
+	// Workers caps the goroutines of the short-range sum; <= 0 means
+	// GOMAXPROCS.  The result is bit-identical for every worker count (each
+	// particle's neighbor sum is computed independently in a fixed order).
+	Workers int
 }
 
 // Solver computes gravitational accelerations with PM or TreePM.
@@ -60,13 +65,19 @@ func (s *Solver) SplitScale() float64 {
 // from the density contrast (the mean density exerts no force, as the
 // periodic Poisson solve discards the DC mode).
 func (s *Solver) Accelerations(pos []vec.V3, mass float64, acc []vec.V3) {
-	long := s.longRange(pos, mass)
-	for i := range acc {
-		acc[i] = long[i]
-	}
+	s.LongRange(pos, mass, acc)
 	if s.Opt.Asmth > 0 {
-		s.shortRange(pos, mass, acc)
+		s.ShortRange(pos, mass, acc)
 	}
+}
+
+// LongRange overwrites acc with the mesh force alone.  With Asmth > 0 the
+// Green's function carries the Gaussian long-range filter exp(-k^2 rs^2), and
+// the result is exactly the long-range half of the TreePM split — the entry
+// point the tree-short-range composite pairs with its rcut-truncated walk.
+func (s *Solver) LongRange(pos []vec.V3, mass float64, acc []vec.V3) {
+	long := s.longRange(pos, mass)
+	copy(acc, long)
 }
 
 // longRange computes the mesh force.  With Asmth > 0 the Green's function is
@@ -161,14 +172,16 @@ func (s *Solver) longRange(pos []vec.V3, mass float64) []vec.V3 {
 	return acc
 }
 
-// shortRange adds the erfc-complement short-range force using a cell-linked
+// ShortRange adds the erfc-complement short-range force using a cell-linked
 // neighbor list, the direct-summation analogue of GADGET-2's short-range
-// tree walk.
-func (s *Solver) shortRange(pos []vec.V3, mass float64, acc []vec.V3) {
+// tree walk.  It is exact for the truncated short-range force (every pair
+// within rcut is visited exactly once), which makes it the small-N oracle
+// for the tree-walk short range of the TreePM composite.
+func (s *Solver) ShortRange(pos []vec.V3, mass float64, acc []vec.V3) {
 	l := s.Opt.BoxSize
 	rs := s.SplitScale()
 	rcut := s.Opt.RCut * rs
-	eps2 := s.Opt.Eps * s.Opt.Eps
+	eps := s.Opt.Eps
 
 	// Cell-linked list with cells at least rcut wide.
 	nc := int(l / rcut)
@@ -177,6 +190,19 @@ func (s *Solver) shortRange(pos []vec.V3, mass float64, acc []vec.V3) {
 	}
 	if nc > 256 {
 		nc = 256
+	}
+	// The +-1 neighbor sweep must visit each wrapped cell exactly once.  With
+	// nc < 3 the periodic wraparound folds distinct offsets onto the same
+	// cell (nc=1 maps all 27 offsets to the home cell; nc=2 maps -1 and +1 to
+	// the same neighbor), which double-counts every pair in the folded cells.
+	// Enumerate the distinct per-axis offsets up front — the 3-D neighbor set
+	// is their Cartesian product, so per-axis deduplication is sufficient.
+	offsets := []int{-1, 0, 1}
+	switch nc {
+	case 1:
+		offsets = []int{0}
+	case 2:
+		offsets = []int{0, 1}
 	}
 	cellOf := func(p vec.V3) (int, int, int) {
 		f := float64(nc) / l
@@ -206,7 +232,10 @@ func (s *Solver) shortRange(pos []vec.V3, mass float64, acc []vec.V3) {
 		heads[idx] = i
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := s.Opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var wg sync.WaitGroup
 	chunk := (len(pos) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -224,9 +253,9 @@ func (s *Solver) shortRange(pos []vec.V3, mass float64, acc []vec.V3) {
 				pi := pos[i]
 				ci, cj, ck := cellOf(pi)
 				var a vec.V3
-				for di := -1; di <= 1; di++ {
-					for dj := -1; dj <= 1; dj++ {
-						for dk := -1; dk <= 1; dk++ {
+				for _, di := range offsets {
+					for _, dj := range offsets {
+						for _, dk := range offsets {
 							ni := ((ci+di)%nc + nc) % nc
 							nj := ((cj+dj)%nc + nc) % nc
 							nk := ((ck+dk)%nc + nc) % nc
@@ -240,13 +269,13 @@ func (s *Solver) shortRange(pos []vec.V3, mass float64, acc []vec.V3) {
 									continue
 								}
 								r := math.Sqrt(r2)
-								// Short-range kernel: Newtonian softened force
+								// Short-range kernel: softened Newtonian force
 								// times the erfc complement of the Gaussian
-								// long-range filter.
-								u := r / (2 * rs)
-								fac := math.Erfc(u) + 2*u/math.Sqrt(math.Pi)*math.Exp(-u*u)
-								soft := 1 / math.Pow(r2+eps2, 1.5)
-								a = a.Add(d.Scale(cosmo.G * mass * soft * fac))
+								// long-range filter (same factors as the tree
+								// short-range walk).
+								ff := softening.ForceFactor(softening.Plummer, r, eps)
+								sff, _ := softening.SplitFactors(r, rs)
+								a = a.Add(d.Scale(cosmo.G * mass * ff * sff))
 							}
 						}
 					}

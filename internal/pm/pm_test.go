@@ -7,6 +7,7 @@ import (
 
 	"twohot/internal/cosmo"
 	"twohot/internal/ewald"
+	"twohot/internal/softening"
 	"twohot/internal/vec"
 )
 
@@ -87,6 +88,94 @@ func TestMomentumConservation(t *testing.T) {
 	}
 	if net.Norm() > 1e-6*scale {
 		t.Errorf("net force %v should vanish (total %g)", net, scale)
+	}
+}
+
+// allPairsShortRange is the brute-force O(N^2) reference for the truncated
+// erfc-complement short-range force: every minimum-image pair within rcut,
+// evaluated with the same kernel factors as Solver.ShortRange.
+func allPairsShortRange(s *Solver, pos []vec.V3, mass float64) []vec.V3 {
+	l := s.Opt.BoxSize
+	rs := s.SplitScale()
+	rcut := s.Opt.RCut * rs
+	acc := make([]vec.V3, len(pos))
+	for i := range pos {
+		for j := range pos {
+			if j == i {
+				continue
+			}
+			d := vec.MinImageV(pos[j].Sub(pos[i]), l)
+			r2 := d.Norm2()
+			if r2 > rcut*rcut || r2 == 0 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			ff := softening.ForceFactor(softening.Plummer, r, s.Opt.Eps)
+			sff, _ := softening.SplitFactors(r, rs)
+			acc[i] = acc[i].Add(d.Scale(cosmo.G * mass * ff * sff))
+		}
+	}
+	return acc
+}
+
+// TestShortRangeCoarseCellGrid is the regression test for the nc < 3
+// pair double-counting bug: with Mesh=16 (nc=2) the wraparound neighbor
+// sweep used to fold the -1 and +1 offsets onto the same cell and count
+// those pairs twice, and with Mesh=8 (nc=1) every pair was counted up to
+// 27 times.  The cell-list sum must match the all-pairs reference in every
+// cell-grid regime.
+func TestShortRangeCoarseCellGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 96
+	const l = 100.0
+	pos := make([]vec.V3, n)
+	for i := range pos {
+		pos[i] = vec.V3{l * rng.Float64(), l * rng.Float64(), l * rng.Float64()}
+	}
+	// Mesh 16 -> rcut = 5.625*l/16 = 35.2, nc = 2;  Mesh 8 -> rcut = 70.3,
+	// nc = 1;  Mesh 64 -> nc = 11 (sanity check on the uncollapsed grid).
+	for _, mesh := range []int{16, 8, 64} {
+		s := NewSolver(Options{Mesh: mesh, BoxSize: l, Asmth: 1.25, Eps: 0.05})
+		acc := make([]vec.V3, n)
+		s.ShortRange(pos, 2.0, acc)
+		ref := allPairsShortRange(s, pos, 2.0)
+		var maxRel, refRMS float64
+		for i := range ref {
+			refRMS += ref[i].Norm2()
+		}
+		scale := math.Sqrt(refRMS / float64(n))
+		for i := range ref {
+			if rel := acc[i].Sub(ref[i]).Norm() / scale; rel > maxRel {
+				maxRel = rel
+			}
+		}
+		if maxRel > 1e-12 {
+			t.Errorf("Mesh=%d: cell-list short range deviates from all-pairs reference (max rel %.3e)", mesh, maxRel)
+		}
+	}
+}
+
+// TestShortRangeWorkerDeterminism pins that the configured worker budget is
+// honored and that chunking does not change bits: each particle's neighbor
+// sum runs in a fixed order regardless of which goroutine owns it.
+func TestShortRangeWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 150
+	const l = 50.0
+	pos := make([]vec.V3, n)
+	for i := range pos {
+		pos[i] = vec.V3{l * rng.Float64(), l * rng.Float64(), l * rng.Float64()}
+	}
+	ref := make([]vec.V3, n)
+	NewSolver(Options{Mesh: 32, BoxSize: l, Asmth: 1.25, Eps: 0.1, Workers: 1}).ShortRange(pos, 1.5, ref)
+	for _, workers := range []int{2, 3, 7, 0} {
+		acc := make([]vec.V3, n)
+		NewSolver(Options{Mesh: 32, BoxSize: l, Asmth: 1.25, Eps: 0.1, Workers: workers}).ShortRange(pos, 1.5, acc)
+		for i := range acc {
+			if acc[i] != ref[i] {
+				t.Fatalf("workers=%d: particle %d differs from workers=1: %v vs %v", workers, i, acc[i], ref[i])
+			}
+		}
 	}
 }
 

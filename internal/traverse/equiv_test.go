@@ -65,6 +65,20 @@ func equivCases() []equivCase {
 			cfg: Config{MAC: MACAbsoluteError, AccTol: 1e-3, Kernel: softening.Plummer, Eps: 0.01,
 				Periodic: true, BoxSize: 1, WS: 2, LatticeOrder: 2},
 		},
+		// TreePM short-range mode: the rcut pruning and split damping must be
+		// applied identically by both paths.  The cutoff is chosen so the
+		// walk genuinely prunes (rcut well inside the box) while plenty of
+		// undecided cells cross the cutoff band at every sink level.
+		{
+			name: "abs/periodic-ws1-split/plummer",
+			cfg: Config{MAC: MACAbsoluteError, AccTol: 1e-3, Kernel: softening.Plummer, Eps: 0.01,
+				Periodic: true, BoxSize: 1, WS: 1, SplitRS: 0.04},
+		},
+		{
+			name: "bh/open-split/none",
+			cfg: Config{MAC: MACBarnesHut, Theta: 0.6, Kernel: softening.None,
+				SplitRS: 0.05, SplitRCut: 0.2},
+		},
 	}
 }
 

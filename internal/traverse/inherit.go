@@ -335,6 +335,7 @@ type inheritTask struct {
 // fetches append to the cell table), so — exactly like the legacy path — they
 // must be traversed with nWorkers = 1.
 func (w *Walker) ForcesForAll(nWorkers int) ([]vec.V3, []float64, Counters) {
+	w.checkSplitConfig()
 	t := w.Tree
 	n := len(t.Pos)
 	acc := make([]vec.V3, n)
@@ -577,6 +578,21 @@ func (w *Walker) classify(ci, oi int32, off, sc vec.V3, r, u float64, out *workl
 	c := t.Cell[ci]
 	dc := c.Center.Add(off).Dist(sc)
 	slack := boundSlack * (dc + r + c.Size)
+	if w.Cfg.SplitRS > 0 {
+		// Short-range mode: a sink leaf prunes this cell when its effective
+		// distance d exceeds SplitRCut + Bmax (see gather).  d lies in
+		// [dc-r, dc+u] for every descendant leaf, so beyond the interval's
+		// lower bound every leaf prunes — drop the entry; beyond only the
+		// upper bound some leaf might — defer so the leaves re-test exactly.
+		prune := w.Cfg.SplitRCut + c.Exp.Bmax
+		if dc-r-slack > prune {
+			return
+		}
+		if dc+u+slack > prune {
+			out.push(itOpen, ci, oi, -1)
+			return
+		}
+	}
 	if w.accept(c, dc-r-slack) {
 		out.push(itCell, ci, oi, -1)
 		return
@@ -675,6 +691,11 @@ func (w *Walker) exactGather(ci, oi int32, g sinkGroup, al *applyLists) {
 	dCenter := srcCenter.Dist(g.center)
 	d := dCenter - g.radius
 
+	// Short-range mode: same exact pruning test as the legacy gather.
+	if w.Cfg.SplitRS > 0 && d > w.Cfg.SplitRCut+c.Exp.Bmax {
+		return
+	}
+
 	if w.accept(c, d) {
 		al.pushCell(ci, oi)
 		return
@@ -738,9 +759,20 @@ func (w *Walker) applyGroup(g sinkGroup, al *applyLists, ws *inheritWS, acc []ve
 			ws.counters.CellByOrder[q]++
 		}
 		e.EvaluateTruncatedBlock(ws.xRel[:m], ws.qs[:m], ws.scratch, ws.res[:m])
-		for s := 0; s < m; s++ {
-			accB[s] = accB[s].Add(ws.res[s].Acc)
-			potB[s] += ws.res[s].Phi
+		if w.Cfg.SplitRS > 0 {
+			// Scalar split damping at the cell-center distance, with the same
+			// expressions as the legacy applyList so the two paths agree bit
+			// for bit.
+			for s := 0; s < m; s++ {
+				sff, spf := softening.SplitFactors(ws.xRel[s].Dist(e.Center), w.Cfg.SplitRS)
+				accB[s] = accB[s].Add(ws.res[s].Acc.Scale(sff))
+				potB[s] += ws.res[s].Phi * spf
+			}
+		} else {
+			for s := 0; s < m; s++ {
+				accB[s] = accB[s].Add(ws.res[s].Acc)
+				potB[s] += ws.res[s].Phi
+			}
 		}
 	}
 
@@ -749,7 +781,13 @@ func (w *Walker) applyGroup(g sinkGroup, al *applyLists, ws *inheritWS, acc []ve
 	for s := 0; s < m; s++ {
 		i := g.first + s
 		x := t.Pos[i]
-		a, p := p2pAccumulate(w.Cfg.Kernel, w.Cfg.Eps, x, al, accB[s], potB[s])
+		var a vec.V3
+		var p float64
+		if w.Cfg.SplitRS > 0 {
+			a, p = p2pAccumulateSplit(w.Cfg.Kernel, w.Cfg.Eps, w.Cfg.SplitRS, w.Cfg.SplitRCut, x, al, accB[s], potB[s])
+		} else {
+			a, p = p2pAccumulate(w.Cfg.Kernel, w.Cfg.Eps, x, al, accB[s], potB[s])
+		}
 		ws.counters.P2P += nSrc
 		for bi := range al.bgBoxes {
 			xRel := x.Sub(w.offsets[al.bgOff[bi]])
@@ -828,6 +866,69 @@ func p2pAccumulate(kernel softening.Kernel, eps float64, x vec.V3, al *applyList
 			}
 			r := math.Sqrt(r2)
 			ff, pf := softening.Factors(kernel, r, eps)
+			mj := sm[j]
+			s := mj * ff
+			a[0] += dx * s
+			a[1] += dy * s
+			a[2] += dz * s
+			p += mj * pf
+		}
+	}
+	return a, p
+}
+
+// p2pAccumulateSplit is p2pAccumulate in TreePM short-range mode: pairs beyond
+// rcut are dropped and every surviving pair is damped by the erfc-complement
+// split factors at scale rs.  The kernel factors and the factor-multiplication
+// order reproduce the legacy applyList expressions exactly, so the two paths
+// stay bit-identical in split mode too.
+func p2pAccumulateSplit(kernel softening.Kernel, eps, rs, rcut float64, x vec.V3, al *applyLists, a vec.V3, p float64) (vec.V3, float64) {
+	sx, sy, sz, sm := al.srcX, al.srcY, al.srcZ, al.srcM
+	x0, x1, x2 := x[0], x[1], x[2]
+	rcut2 := rcut * rcut
+	switch kernel {
+	case softening.Plummer:
+		e2 := eps * eps
+		for j := range sx {
+			dx := sx[j] - x0
+			dy := sy[j] - x1
+			dz := sz[j] - x2
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 || r2 > rcut2 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			d2 := r*r + e2
+			sq := math.Sqrt(d2)
+			var ff float64
+			if d2 != 0 {
+				ff = 1 / (d2 * sq)
+			}
+			pf := 1 / sq
+			sff, spf := softening.SplitFactors(r, rs)
+			ff *= sff
+			pf *= spf
+			mj := sm[j]
+			s := mj * ff
+			a[0] += dx * s
+			a[1] += dy * s
+			a[2] += dz * s
+			p += mj * pf
+		}
+	default:
+		for j := range sx {
+			dx := sx[j] - x0
+			dy := sy[j] - x1
+			dz := sz[j] - x2
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 == 0 || r2 > rcut2 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			ff, pf := softening.Factors(kernel, r, eps)
+			sff, spf := softening.SplitFactors(r, rs)
+			ff *= sff
+			pf *= spf
 			mj := sm[j]
 			s := mj * ff
 			a[0] += dx * s

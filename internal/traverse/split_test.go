@@ -1,0 +1,124 @@
+package traverse
+
+// Correctness suite for the TreePM short-range traversal mode (Config.SplitRS):
+// the rcut-pruned walk must reproduce the truncated erfc-complement pair sum
+// exactly when the MAC never accepts, must stay within MAC accuracy of it when
+// it does, and the pruning must actually remove work.  The legacy/inherit
+// bit-equivalence of the mode itself is covered by the split cases of
+// equiv_test.go.
+
+import (
+	"math"
+	"testing"
+
+	"twohot/internal/softening"
+	"twohot/internal/vec"
+)
+
+// directTruncated sums the short-range force over all pairs and the 27
+// replica images with the same kernel factors as the traversal's split mode —
+// the exact definition of the truncated short-range force the walk
+// approximates.
+func directTruncated(pos []vec.V3, mass []float64, box float64, kernel softening.Kernel, eps, rs, rcut float64) ([]vec.V3, []float64) {
+	acc := make([]vec.V3, len(pos))
+	pot := make([]float64, len(pos))
+	rcut2 := rcut * rcut
+	for i := range pos {
+		for ox := -1; ox <= 1; ox++ {
+			for oy := -1; oy <= 1; oy++ {
+				for oz := -1; oz <= 1; oz++ {
+					off := vec.V3{box * float64(ox), box * float64(oy), box * float64(oz)}
+					for j := range pos {
+						d := pos[j].Add(off).Sub(pos[i])
+						r2 := d.Norm2()
+						if r2 == 0 || r2 > rcut2 {
+							continue
+						}
+						r := math.Sqrt(r2)
+						ff, pf := softening.Factors(kernel, r, eps)
+						sff, spf := softening.SplitFactors(r, rs)
+						acc[i] = acc[i].Add(d.Scale(mass[j] * ff * sff))
+						pot[i] += mass[j] * pf * spf
+					}
+				}
+			}
+		}
+	}
+	return acc, pot
+}
+
+func TestSplitShortRangeMatchesTruncatedDirect(t *testing.T) {
+	trees := equivTrees(t, 0)
+	const rs, rcut = 0.04, 0.18
+	for dist, tr := range trees {
+		ref, refPot := directTruncated(tr.Pos, tr.Mass, 1, softening.Plummer, 0.01, rs, rcut)
+
+		// AccTol = 0: the MAC never accepts, so every unpruned cell opens to
+		// particles and the walk evaluates exactly the truncated pair sum —
+		// only the accumulation order differs from the direct reference.
+		exact := NewWalker(tr, Config{MAC: MACAbsoluteError, AccTol: 0,
+			Kernel: softening.Plummer, Eps: 0.01,
+			Periodic: true, BoxSize: 1, WS: 1, SplitRS: rs, SplitRCut: rcut})
+		acc, pot, cnt := exact.ForcesForAll(2)
+		if cnt.CellInteractions() != 0 {
+			t.Errorf("%s: AccTol=0 walk still accepted %d cells", dist, cnt.CellInteractions())
+		}
+		scale := 0.0
+		for i := range ref {
+			scale += ref[i].Norm2()
+		}
+		scale = math.Sqrt(scale / float64(len(ref)))
+		for i := range ref {
+			if diff := acc[i].Sub(ref[i]).Norm(); diff > 1e-12*scale {
+				t.Fatalf("%s: particle %d: exact walk deviates %g from direct truncated sum", dist, i, diff)
+			}
+			if dp := math.Abs(pot[i] - refPot[i]); dp > 1e-10*(math.Abs(refPot[i])+1e-30) {
+				t.Fatalf("%s: particle %d: potential deviates %g", dist, i, dp)
+			}
+		}
+
+		// A production tolerance must engage the multipole acceptance and stay
+		// within MAC-class accuracy of the truncated sum.
+		mac := NewWalker(tr, Config{MAC: MACAbsoluteError, AccTol: 1e-4,
+			Kernel: softening.Plummer, Eps: 0.01,
+			Periodic: true, BoxSize: 1, WS: 1, SplitRS: rs, SplitRCut: rcut})
+		macc, _, mcnt := mac.ForcesForAll(2)
+		if mcnt.CellInteractions() == 0 {
+			t.Errorf("%s: production walk accepted no cells — the MAC never engaged", dist)
+		}
+		rms := 0.0
+		for i := range ref {
+			rms += macc[i].Sub(ref[i]).Norm2()
+		}
+		rms = math.Sqrt(rms / float64(len(ref)))
+		if rel := rms / scale; rel > 2e-2 {
+			t.Errorf("%s: MAC walk rms error %.3e vs truncated direct sum", dist, rel)
+		}
+		if mcnt.P2P >= cnt.P2P {
+			t.Errorf("%s: MAC walk did not reduce P2P work (%d vs %d)", dist, mcnt.P2P, cnt.P2P)
+		}
+	}
+}
+
+// TestSplitPruningRemovesWork pins that the rcut cutoff prunes the walk, not
+// just the per-pair sum: against an effectively infinite cutoff at the same
+// split scale, the real cutoff must cut the direct interactions sharply.
+func TestSplitPruningRemovesWork(t *testing.T) {
+	tr := equivTrees(t, 0)["uniform"]
+	base := Config{MAC: MACAbsoluteError, AccTol: 0, Kernel: softening.Plummer, Eps: 0.01,
+		Periodic: true, BoxSize: 1, WS: 1, SplitRS: 0.04}
+
+	pruned := base
+	pruned.SplitRCut = 0.18
+	wp := NewWalker(tr, pruned)
+	_, _, cntP := wp.ForcesForAll(1)
+
+	open := base
+	open.SplitRCut = 100 // beyond every replica: nothing prunes
+	wo := NewWalker(tr, open)
+	_, _, cntO := wo.ForcesForAll(1)
+
+	if cntP.P2P*10 >= cntO.P2P {
+		t.Errorf("rcut pruning kept %d of %d direct interactions — the walk is not pruning", cntP.P2P, cntO.P2P)
+	}
+}

@@ -50,6 +50,23 @@ type Config struct {
 	// GroupSize caps the number of sink particles treated as one block
 	// (m x n blocking); 0 uses the tree leaf size.
 	GroupSize int
+
+	// SplitRS, when positive, runs the traversal in TreePM short-range mode:
+	// every interaction — multipole and particle-particle — is damped by the
+	// erfc complement of the Gaussian force split at scale SplitRS
+	// (softening.SplitFactors), pairs beyond SplitRCut are dropped exactly,
+	// and source cells whose every body lies beyond SplitRCut of every sink
+	// of a group are pruned from the walk (the pruning is exact with respect
+	// to the truncated short-range force, not an approximation).  Accepted
+	// cells apply the split factors at the sink-to-cell-center distance, the
+	// GADGET-style scalar approximation; the Newtonian MAC error estimate
+	// stays valid because truncation only ever shrinks the interaction.
+	// Short-range mode composes with a mesh long range, so it requires
+	// background subtraction and the far lattice to be off.
+	SplitRS float64
+	// SplitRCut is the short-range truncation radius in length units;
+	// defaults to 4.5 * SplitRS (ignored when SplitRS is zero).
+	SplitRCut float64
 }
 
 func (c *Config) defaults() {
@@ -61,6 +78,9 @@ func (c *Config) defaults() {
 	}
 	if c.Kernel == 0 && c.Eps == 0 {
 		c.Kernel = softening.None
+	}
+	if c.SplitRS > 0 && c.SplitRCut == 0 {
+		c.SplitRCut = 4.5 * c.SplitRS
 	}
 }
 
@@ -270,6 +290,7 @@ type sinkGroup struct {
 // unexported.  SinkActive is ignored.  The returned slices are indexed like
 // the tree's (key-sorted) particle arrays.
 func (w *Walker) forcesForAllLegacy(nWorkers int) ([]vec.V3, []float64, Counters) {
+	w.checkSplitConfig()
 	t := w.Tree
 	n := len(t.Pos)
 	acc := make([]vec.V3, n)
@@ -383,6 +404,23 @@ func ParallelRange(n, workers int, body func(lo, hi int)) {
 	}
 }
 
+// checkSplitConfig rejects short-range-mode configurations that silently
+// double-count the long range: background subtraction folds the mean density
+// into the walk and the far lattice sums the infinite replica field — both
+// belong to the mesh half of a TreePM split, never to the rcut-truncated
+// short range.
+func (w *Walker) checkSplitConfig() {
+	if w.Cfg.SplitRS <= 0 {
+		return
+	}
+	if w.Tree.RhoBar() > 0 {
+		panic("traverse: short-range split mode requires background subtraction off")
+	}
+	if w.local != nil {
+		panic("traverse: short-range split mode requires the far lattice off")
+	}
+}
+
 // sinkRadius is the maximum distance from the cell center to any of its
 // bodies.
 func sinkRadius(t *tree.Tree, c *tree.Cell) float64 {
@@ -430,24 +468,42 @@ func (w *Walker) forcesForGroup(g sinkGroup, il *interactionList, scratch []floa
 func (w *Walker) applyList(x vec.V3, il *interactionList, scratch []float64, counters *Counters) (vec.V3, float64) {
 	var a vec.V3
 	var p float64
+	splitRS := w.Cfg.SplitRS
 	for ci, c := range il.cells {
 		xRel := x.Sub(il.cellOff[ci])
-		q := w.chooseOrder(c, xRel.Dist(c.Exp.Center))
+		dist := xRel.Dist(c.Exp.Center)
+		q := w.chooseOrder(c, dist)
 		res := c.Exp.EvaluateTruncated(xRel, q, scratch)
+		if splitRS > 0 {
+			// Scalar split damping at the cell-center distance (the
+			// GADGET-style short-range multipole approximation).
+			sff, spf := softening.SplitFactors(dist, splitRS)
+			res.Acc = res.Acc.Scale(sff)
+			res.Phi *= spf
+		}
 		a = a.Add(res.Acc)
 		p += res.Phi
 		counters.CellByOrder[q]++
 	}
 	// Direct particle-particle interactions.
+	rcut2 := w.Cfg.SplitRCut * w.Cfg.SplitRCut
 	for j := range il.srcPos {
 		d := il.srcPos[j].Sub(x)
 		r2 := d.Norm2()
 		if r2 == 0 {
 			continue
 		}
+		if splitRS > 0 && r2 > rcut2 {
+			continue
+		}
 		r := math.Sqrt(r2)
 		ff := softening.ForceFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
 		pf := softening.PotentialFactor(w.Cfg.Kernel, r, w.Cfg.Eps)
+		if splitRS > 0 {
+			sff, spf := softening.SplitFactors(r, splitRS)
+			ff *= sff
+			pf *= spf
+		}
 		m := il.srcMass[j]
 		a = a.Add(d.Scale(m * ff))
 		p += m * pf
@@ -487,6 +543,13 @@ func (w *Walker) gather(c *tree.Cell, off vec.V3, g sinkGroup, il *interactionLi
 	srcCenter := c.Center.Add(off)
 	dCenter := srcCenter.Dist(g.center)
 	d := dCenter - g.radius
+
+	// Short-range mode: the closest possible sink-body pair is at least
+	// d - Bmax away, so beyond the cutoff the whole subtree contributes
+	// nothing to the truncated force and is pruned.
+	if w.Cfg.SplitRS > 0 && d > w.Cfg.SplitRCut+c.Exp.Bmax {
+		return
+	}
 
 	if w.accept(c, d) {
 		il.cells = append(il.cells, c)
@@ -565,6 +628,7 @@ func (w *Walker) accept(c *tree.Cell, d float64) bool {
 // ForceAt evaluates the field at an arbitrary position (e.g. a test point or
 // a lightcone sample), without self-exclusion.
 func (w *Walker) ForceAt(x vec.V3) (vec.V3, float64) {
+	w.checkSplitConfig()
 	t := w.Tree
 	var il interactionList
 	scratch := make([]float64, multipole.ScratchSize(t.Opt.Order))

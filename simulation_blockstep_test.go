@@ -221,6 +221,14 @@ func TestBlockStepValidation(t *testing.T) {
 	if err := cfg.Validate(); err == nil {
 		t.Error("block_steps with the PM solver must not validate")
 	}
+	// The treepm composite routes its short range through the tree and
+	// inherits active-subset support, so block stepping is allowed.
+	cfg = blockConfig()
+	cfg.BlockSteps = 2
+	cfg.Solver = SolverTreePM
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("block_steps with the treepm solver must validate: %v", err)
+	}
 	cfg = blockConfig()
 	cfg.BlockSteps = 2
 	cfg.Ranks = 2

@@ -77,7 +77,9 @@ func NewForceSolver(cfg Config) (ForceSolver, error) {
 			return NewDistributedTreeForceSolver(cfg.treeConfig(), cfg.Ranks), nil
 		}
 		return NewTreeForceSolver(cfg.treeConfig()), nil
-	case SolverTreePM, SolverPM:
+	case SolverTreePM:
+		return NewTreePMForceSolver(cfg.treePMTreeConfig(), cfg.pmOptions()), nil
+	case SolverPM:
 		return NewPMForceSolver(cfg.pmOptions()), nil
 	case SolverDirect:
 		return NewDirectForceSolver(core.DirectSolver{
@@ -198,6 +200,93 @@ func (t *distTreeForceSolver) ActiveForces(p *particle.Set, active, moved []bool
 
 func (t *distTreeForceSolver) Reset() {}
 
+// treePMForceSolver is the production TreePM composite: the Gaussian-split
+// mesh long range (pm.Solver.LongRange) plus the tree-evaluated
+// erfc-complement short range (core.TreeSolver in split mode).  Because the
+// short range runs through the tree, the composite inherits the tree's
+// active-subset, incremental-rebuild and work-feedback machinery — the mesh
+// half depends on every position but is deterministic, so active slots of a
+// subset solve stay bit-identical to a full solve.
+type treePMForceSolver struct {
+	treeCfg core.TreeConfig
+	pmOpt   pm.Options
+	ts      *core.TreeSolver
+	ps      *pm.Solver
+	longAcc []vec.V3
+}
+
+// NewTreePMForceSolver composes a split-mode tree short range with a mesh
+// long range as one ForceSolver.  treeCfg must carry the split (SplitRS > 0,
+// matching the mesh options' Asmth split scale) and must leave background
+// subtraction and the far lattice off; NewForceSolver derives such a pair
+// from a Config via treePMTreeConfig/pmOptions.  Heavy state is allocated on
+// the first solve.
+func NewTreePMForceSolver(treeCfg core.TreeConfig, pmOpt pm.Options) ForceSolver {
+	return &treePMForceSolver{treeCfg: treeCfg, pmOpt: pmOpt}
+}
+
+func (s *treePMForceSolver) tree() *core.TreeSolver {
+	if s.ts == nil {
+		s.ts = core.NewTreeSolver(s.treeCfg)
+	}
+	return s.ts
+}
+
+func (s *treePMForceSolver) mesh() *pm.Solver {
+	if s.ps == nil {
+		s.ps = pm.NewSolver(s.pmOpt)
+	}
+	return s.ps
+}
+
+func (s *treePMForceSolver) Name() string { return string(SolverTreePM) }
+
+func (s *treePMForceSolver) Capabilities() Capabilities {
+	// The short-range kernel sums alone are not the system potential (the
+	// mesh half supplies none), so the composite does not advertise one.
+	return Capabilities{
+		ActiveSubsets: true,
+		Incremental:   s.treeCfg.Incremental,
+		WorkFeedback:  true,
+		Potential:     false,
+	}
+}
+
+func (s *treePMForceSolver) Accelerations(p *particle.Set) (*core.Result, error) {
+	return s.ActiveForces(p, nil, nil)
+}
+
+func (s *treePMForceSolver) ActiveForces(p *particle.Set, active, moved []bool) (*core.Result, error) {
+	if p.Len() == 0 {
+		return &core.Result{}, nil
+	}
+	res, err := s.tree().ForcesActive(p.Pos, p.Mass, p.Work, active, moved)
+	if err != nil {
+		return nil, err
+	}
+	// The mesh force depends on every position through the deposit, so it is
+	// recomputed per solve; only active slots receive it (inactive slots of a
+	// subset solve are unspecified, like the tree's).
+	if cap(s.longAcc) < p.Len() {
+		s.longAcc = make([]vec.V3, p.Len())
+	}
+	long := s.longAcc[:p.Len()]
+	s.mesh().LongRange(p.Pos, p.Mass[0], long)
+	for i := range res.Acc {
+		if active == nil || active[i] {
+			res.Acc[i] = res.Acc[i].Add(long[i])
+		}
+	}
+	res.Pot = nil
+	return res, nil
+}
+
+func (s *treePMForceSolver) Reset() {
+	if s.ts != nil {
+		s.ts.ResetReuse()
+	}
+}
+
 // pmForceSolver adapts the particle-mesh / TreePM solver.
 type pmForceSolver struct {
 	opt pm.Options
@@ -205,8 +294,11 @@ type pmForceSolver struct {
 }
 
 // NewPMForceSolver wraps the mesh solver as a ForceSolver: pure PM when
-// opt.Asmth == 0, the TreePM-style composite (Gaussian-split mesh long range
-// plus erfc-complement short range) otherwise.  Mesh state is allocated per
+// opt.Asmth == 0, the mesh long range plus the brute-force cell-list short
+// range otherwise.  The brute-force variant is no longer what SolverTreePM
+// constructs (that is the tree-short-range composite, NewTreePMForceSolver);
+// it survives as the exact-short-range oracle the conformance suite and the
+// bench tool compare the tree walk against.  Mesh state is allocated per
 // solve, so construction is free.
 func NewPMForceSolver(opt pm.Options) ForceSolver {
 	return &pmForceSolver{opt: opt}

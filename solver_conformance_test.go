@@ -13,6 +13,7 @@ import (
 
 	"twohot/internal/core"
 	"twohot/internal/cosmo"
+	"twohot/internal/pm"
 	"twohot/internal/step"
 	"twohot/internal/vec"
 )
@@ -49,11 +50,14 @@ func conformanceSim(t *testing.T, cfg Config) *Simulation {
 func TestSolverConformance(t *testing.T) {
 	// Momentum-conservation tolerances (|Σ m·a| / Σ m·|a|): the pairwise
 	// backends are antisymmetric to roundoff; the tree's sink-centred MAC
-	// breaks action/reaction pairs at force-error level; the mesh backend
-	// sits in between (CIC + spectral gradient asymmetries).
+	// breaks action/reaction pairs at force-error level, and the treepm
+	// composite's short range now runs through that MAC so it sits at the
+	// tree tier (its brute-force pairwise oracle keeps the 1e-9 tier in
+	// TestTreePMShortRangeOracle); the mesh backend sits in between (CIC +
+	// spectral gradient asymmetries).
 	momTol := map[SolverKind]float64{
 		SolverTree:   2e-3,
-		SolverTreePM: 1e-9,
+		SolverTreePM: 2e-3,
 		SolverPM:     1e-9,
 		SolverDirect: 1e-9,
 	}
@@ -140,7 +144,7 @@ func TestSolverConformance(t *testing.T) {
 // PM run no tree), and the first use must build exactly the configured
 // backend.
 func TestSolverLazyConstruction(t *testing.T) {
-	for _, kind := range []SolverKind{SolverTree, SolverPM} {
+	for _, kind := range []SolverKind{SolverTree, SolverTreePM, SolverPM} {
 		cfg := conformanceConfig(kind)
 		sim, err := New(cfg)
 		if err != nil {
@@ -163,6 +167,60 @@ func TestSolverLazyConstruction(t *testing.T) {
 	ps := NewPMForceSolver(pmCfg.pmOptions())
 	if p := ps.(*pmForceSolver).ps; p != nil {
 		t.Error("pm adapter built its pm.Solver before the first solve")
+	}
+	tpCfg := conformanceConfig(SolverTreePM)
+	tp := NewTreePMForceSolver(tpCfg.treePMTreeConfig(), tpCfg.pmOptions())
+	if c := tp.(*treePMForceSolver); c.ts != nil || c.ps != nil {
+		t.Error("treepm composite built a backend before the first solve")
+	}
+}
+
+// TestTreePMShortRangeOracle pins the tree-walk short range of the treepm
+// composite against the brute-force cell-list short range (the exact pairwise
+// evaluation of the same truncated erfc-complement force).  With the MAC
+// effectively disabled the walk opens every unpruned cell to particles, so
+// the two differ only in accumulation order; and because the oracle is a
+// pairwise antisymmetric sum, it must conserve momentum at the 1e-9 tier the
+// composite itself (MAC-tier) no longer claims.
+func TestTreePMShortRangeOracle(t *testing.T) {
+	cfg := conformanceConfig(SolverTreePM)
+	cfg.Workers = 2
+	cfg.Kernel = "plummer" // the cell-list oracle only implements Plummer softening
+	cfg.ErrTol = 1e-30     // MAC never accepts: the short range is pure truncated P2P
+	sim := conformanceSim(t, cfg)
+	acc, err := sim.Accelerations()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oracle := NewPMForceSolver(cfg.pmOptions())
+	ores, err := oracle.Accelerations(sim.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scale := 0.0
+	for i := range acc {
+		scale += ores.Acc[i].Norm2()
+	}
+	scale = math.Sqrt(scale / float64(len(acc)))
+	for i := range acc {
+		if diff := acc[i].Sub(ores.Acc[i]).Norm(); diff > 1e-10*scale {
+			t.Fatalf("particle %d: composite (MAC off) deviates %.3e from the brute-force oracle", i, diff/scale)
+		}
+	}
+
+	// The pairwise short range alone conserves momentum to roundoff.
+	sr := make([]vec.V3, sim.P.Len())
+	pm.NewSolver(cfg.pmOptions()).ShortRange(sim.P.Pos, sim.P.Mass[0], sr)
+	var net vec.V3
+	fScale := 0.0
+	for i := range sr {
+		net = net.Add(sr[i].Scale(sim.P.Mass[i]))
+		fScale += sim.P.Mass[i] * sr[i].Norm()
+	}
+	if rel := net.Norm() / fScale; rel > 1e-9 {
+		t.Errorf("pairwise short-range net force %.3e exceeds the 1e-9 tier", rel)
 	}
 }
 
