@@ -387,13 +387,17 @@ func BenchmarkAlltoallVariants(b *testing.B) {
 			w := comm.NewWorld(ranks)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				w.Run(func(r *comm.Rank) {
+				err := w.Run(func(r *comm.Rank) error {
 					send := make([][]byte, ranks)
 					for d := range send {
 						send[d] = payload
 					}
-					r.AlltoallvBytes(send, tc.algo)
+					_, err := r.AlltoallvBytes(send, tc.algo)
+					return err
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.SetBytes(int64(ranks * ranks * len(payload)))
 		})

@@ -1,0 +1,140 @@
+package twohot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"twohot/internal/cluster"
+	"twohot/internal/sdf"
+)
+
+// ClusterWorkerMain diverts this process into a cluster worker when it was
+// re-executed by the supervisor (RunClusterSupervised), and returns
+// immediately otherwise.  Any binary whose path may be handed to
+// RunClusterSupervised as the worker command must call it before normal
+// argument handling; cmd/2hot does.
+func ClusterWorkerMain() { cluster.WorkerMain() }
+
+// ClusterRunOptions configures RunClusterSupervised.  The zero value is
+// usable: the current binary is re-executed as the workers, restarts are
+// bounded by a small default, and worker stderr goes to this process's
+// stderr.
+type ClusterRunOptions struct {
+	// Command is the argv each worker process is launched with (rank and
+	// run description travel through the environment).  Empty means the
+	// current binary, which must call ClusterWorkerMain early in main.
+	Command []string
+	// SnapshotIn, when non-empty, starts the run from this SDF snapshot —
+	// typically a checkpoint written by a previous cluster run, whose
+	// completed-step count resumes the original step grid — instead of
+	// generating initial conditions from the configuration.
+	SnapshotIn string
+	// MaxRestarts bounds how many times the world is restarted after a
+	// rank death before giving up (0 means a default of 3).
+	MaxRestarts int
+	// Stderr receives worker process stderr (nil means os.Stderr).
+	Stderr io.Writer
+	// OnRestart, when non-nil, observes each recovery: the attempt number
+	// that just failed (0-based) and the error that killed it.
+	OnRestart func(attempt int, cause error)
+}
+
+// RunClusterSupervised runs the configuration as Cfg.Ranks separate worker
+// processes over the fault-tolerant TCP transport and returns the path of the
+// final gathered snapshot.  It requires Transport "tcp" (Validate ties that
+// to Ranks > 1 and the tree solver).
+//
+// The supervisor stages the initial state as an SDF snapshot, reserves a
+// loopback address per rank, launches the workers, and — when any rank dies —
+// kills the survivors and relaunches the world from the last good checkpoint
+// (CheckpointEvery steps apart; every CheckpointEvery <= 0 defaults to 1
+// here, since checkpoints are what recovery restores).  Workers advance the
+// same comoving leapfrog on the same step grid regardless of transport or
+// restarts, so the result is bit-identical to an uninterrupted run; see
+// internal/cluster for the invariants that guarantee it.
+func RunClusterSupervised(cfg Config, opt ClusterRunOptions) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	if cfg.Transport != "tcp" {
+		return "", fmt.Errorf("twohot: cluster runs require transport \"tcp\", not %q", cfg.Transport)
+	}
+	dir := cfg.OutputDir
+	if dir == "" {
+		dir = "."
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+
+	// Stage the initial state as a file every worker loads: either the
+	// caller's snapshot (a resume) or freshly generated initial conditions.
+	// DlnA is derived so the remaining steps land on z_final; for a fresh
+	// run that is the full NSteps grid, and for a resume it reproduces the
+	// original grid's step size exactly in exact arithmetic.
+	aFinal := 1 / (1 + cfg.ZFinal)
+	icPath := opt.SnapshotIn
+	var aStart float64
+	stepsDone := 0
+	if icPath == "" {
+		sim, err := New(cfg)
+		if err != nil {
+			return "", err
+		}
+		if err := sim.GenerateICs(); err != nil {
+			return "", err
+		}
+		icPath = filepath.Join(dir, cfg.Name+"-cluster-ic.sdf")
+		if err := sdf.Write(icPath, sim.Snapshot()); err != nil {
+			return "", err
+		}
+		aStart = sim.A
+	} else {
+		snap, err := sdf.Read(icPath)
+		if err != nil {
+			return "", err
+		}
+		aStart = snap.ScaleFac
+		if v, err := strconv.Atoi(snap.Extra["step"]); err == nil && v > 0 {
+			stepsDone = v
+		}
+	}
+	remaining := cfg.NSteps - stepsDone
+	if remaining <= 0 {
+		return "", fmt.Errorf("twohot: snapshot %s already completed step %d of %d", icPath, stepsDone, cfg.NSteps)
+	}
+
+	spec := cluster.Spec{
+		N:               cfg.Ranks,
+		Cosmology:       cfg.Cosmology,
+		Tree:            cfg.treeConfig(),
+		BranchExchange:  "ring",
+		NSteps:          cfg.NSteps,
+		DlnA:            math.Log(aFinal/aStart) / float64(remaining),
+		SnapshotIn:      icPath,
+		ResultPath:      filepath.Join(dir, cfg.Name+"-final.sdf"),
+		CheckpointPath:  filepath.Join(dir, cfg.Name+"-ckpt.sdf"),
+		CheckpointEvery: cfg.CheckpointEvery,
+	}
+	if spec.CheckpointEvery <= 0 {
+		spec.CheckpointEvery = 1
+	}
+	command := opt.Command
+	if len(command) == 0 {
+		command = []string{os.Args[0]}
+	}
+	err := cluster.Supervise(spec, cluster.SuperviseOptions{
+		Command:     command,
+		MaxRestarts: opt.MaxRestarts,
+		Dir:         dir,
+		Stderr:      opt.Stderr,
+		OnRestart:   opt.OnRestart,
+	})
+	if err != nil {
+		return "", err
+	}
+	return spec.ResultPath, nil
+}

@@ -1,0 +1,172 @@
+package twohot
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twohot/internal/sdf"
+)
+
+// TestMain diverts re-executed worker processes into the cluster worker
+// before any test runs; a normal `go test` invocation falls through.
+func TestMain(m *testing.M) {
+	ClusterWorkerMain()
+	os.Exit(m.Run())
+}
+
+func clusterConfig(t *testing.T) Config {
+	cfg := checkpointConfig()
+	cfg.NSteps = 3
+	cfg.Ranks = 2
+	cfg.Transport = "tcp"
+	cfg.Workers = 1
+	cfg.CheckpointEvery = 1
+	cfg.OutputDir = t.TempDir()
+	return cfg
+}
+
+// TestRunClusterSupervisedCompletes drives the full deployment path end to
+// end: the supervisor re-executes this test binary as two TCP worker
+// processes, and the gathered result must land at z_final with every particle
+// and a complete step grid.  (The bit-identity pins against the in-process
+// world live in internal/cluster; this covers the Config→Spec wiring.)
+func TestRunClusterSupervisedCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short")
+	}
+	cfg := clusterConfig(t)
+	result, err := RunClusterSupervised(cfg, ClusterRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sdf.Read(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.NGrid * cfg.NGrid * cfg.NGrid; snap.Particles.Len() != want {
+		t.Errorf("result has %d particles, want %d", snap.Particles.Len(), want)
+	}
+	if aFinal := 1 / (1 + cfg.ZFinal); math.Abs(snap.ScaleFac-aFinal) > 1e-12 {
+		t.Errorf("result at a=%v, want %v", snap.ScaleFac, aFinal)
+	}
+	if snap.MomentumScaleFac != snap.ScaleFac {
+		t.Error("result snapshot is not synchronized")
+	}
+	if snap.Extra["step"] != "3" {
+		t.Errorf("result completed step %q, want 3", snap.Extra["step"])
+	}
+	// The run also left a checkpoint and the staged IC behind.
+	if _, err := os.Stat(filepath.Join(cfg.OutputDir, cfg.Name+"-ckpt.sdf")); err != nil {
+		t.Errorf("no checkpoint written: %v", err)
+	}
+}
+
+// TestRunClusterSupervisedResume pins the -restart path: a cluster run
+// resumed from a mid-grid cluster checkpoint finishes the original grid.
+func TestRunClusterSupervisedResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short")
+	}
+	cfg := clusterConfig(t)
+	if _, err := RunClusterSupervised(cfg, ClusterRunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The final checkpoint sits at step NSteps; rewind it to pretend the run
+	// died after step 2, then resume.
+	ckpt := filepath.Join(cfg.OutputDir, cfg.Name+"-ckpt.sdf")
+	snap, err := sdf.Read(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Extra["step"] != "3" {
+		t.Fatalf("final checkpoint at step %q, want 3", snap.Extra["step"])
+	}
+
+	resumeCfg := clusterConfig(t)
+	resumed, err := RunClusterSupervised(resumeCfg, ClusterRunOptions{SnapshotIn: ckpt})
+	if err == nil {
+		t.Fatalf("resume from a completed grid succeeded (%s); want an error", resumed)
+	}
+
+	// A genuinely mid-grid snapshot: raise NSteps so step 3 of 5 remains.
+	resumeCfg.NSteps = 5
+	result, err := RunClusterSupervised(resumeCfg, ClusterRunOptions{SnapshotIn: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sdf.Read(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Extra["step"] != "5" {
+		t.Errorf("resumed run completed step %q, want 5", out.Extra["step"])
+	}
+}
+
+// TestRunWritesPeriodicCheckpoints covers the single-process analogue: with
+// CheckpointEvery set, Run leaves a restartable checkpoint behind, and a run
+// restored from it finishes bit-identical to the uninterrupted one.
+func TestRunWritesPeriodicCheckpoints(t *testing.T) {
+	cfg := checkpointConfig()
+	cfg.CheckpointEvery = 2
+	cfg.OutputDir = t.TempDir()
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreCheckpoint(full.CheckpointPath()); err != nil {
+		t.Fatal(err)
+	}
+	// NSteps=6, CheckpointEvery=2: checkpoints after steps 2 and 4; the
+	// final step is covered by the run's own output, not a checkpoint.
+	if restored.StepCount != 4 {
+		t.Fatalf("last checkpoint at step %d, want 4", restored.StepCount)
+	}
+	if err := restored.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.A != full.A || restored.AMom != full.AMom {
+		t.Fatalf("epochs differ after resume: a %v/%v a_mom %v/%v", restored.A, full.A, restored.AMom, full.AMom)
+	}
+	for i := range full.P.Pos {
+		if full.P.Pos[i] != restored.P.Pos[i] || full.P.Mom[i] != restored.P.Mom[i] {
+			t.Fatalf("particle %d differs after periodic-checkpoint resume", i)
+		}
+	}
+}
+
+func TestConfigValidatesTransportAndCheckpointing(t *testing.T) {
+	base := checkpointConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"unknown transport", func(c *Config) { c.Transport = "carrier-pigeon" }},
+		{"tcp without ranks", func(c *Config) { c.Transport = "tcp" }},
+		{"negative checkpoint_every", func(c *Config) { c.CheckpointEvery = -1 }},
+		{"checkpoint_every with block steps", func(c *Config) { c.CheckpointEvery = 2; c.BlockSteps = 2 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the config", tc.name)
+		}
+	}
+	ok := base
+	ok.Transport = "tcp"
+	ok.Ranks = 2
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid tcp config rejected: %v", err)
+	}
+}

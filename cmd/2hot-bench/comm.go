@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"twohot/internal/comm"
+)
+
+// commPingPongResult is one row of the point-to-point comparison: round-trip
+// latency and the implied one-way bandwidth for a payload size on one
+// transport.
+type commPingPongResult struct {
+	Transport      string  `json:"transport"` // "chan" or "tcp"
+	Bytes          int     `json:"bytes"`
+	RoundTrips     int     `json:"round_trips"`
+	NsPerRoundTrip float64 `json:"ns_per_round_trip"`
+	MBPerSec       float64 `json:"mb_per_sec"`
+}
+
+// commAlltoallResult is one row of the collective comparison: the per-call
+// time of AlltoallvBytes and the aggregate data rate (every rank ships
+// BytesPerPair to every rank, self included).
+type commAlltoallResult struct {
+	Transport         string  `json:"transport"`
+	Ranks             int     `json:"ranks"`
+	BytesPerPair      int     `json:"bytes_per_pair"`
+	Calls             int     `json:"calls"`
+	NsPerCall         float64 `json:"ns_per_call"`
+	AggregateMBPerSec float64 `json:"aggregate_mb_per_sec"`
+}
+
+type commReport struct {
+	Cores     int                  `json:"cores"`
+	Timestamp string               `json:"timestamp"`
+	Caveats   []string             `json:"caveats"`
+	PingPong  []commPingPongResult `json:"ping_pong"`
+	Alltoallv []commAlltoallResult `json:"alltoallv"`
+}
+
+// runComm compares the in-process channel transport against the TCP transport
+// on loopback — point-to-point ping-pong and AlltoallvBytes — and writes
+// BENCH_comm.json.  The numbers quantify what the fault-tolerant framing
+// costs on one host; the caveats in the report spell out what they do NOT
+// measure.
+func runComm(outPath string) error {
+	report := commReport{
+		Cores:     runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Caveats: []string{
+			"tcp runs all ranks on loopback of one host: no NIC, no switch, kernel memory copies only — cross-host latency and bandwidth will be worse",
+			"tcp pays the fault-tolerance stack on every frame: length-prefixed encoding, CRC32, per-frame acks, duplicate tracking and retry bookkeeping",
+			"chan is the shared-memory reference: payloads cross a Go channel without serialization, so it bounds what any wire transport can reach in-process",
+			"single run per row, no variance estimate: treat trends (size scaling, transport gap), not absolute numbers, as the signal",
+		},
+	}
+
+	for _, size := range []int{64, 4096, 65536, 1 << 20} {
+		iters := 500
+		if size >= 65536 {
+			iters = 100
+		}
+		for _, transport := range []string{"chan", "tcp"} {
+			elapsed, err := commWorld(transport, 2, func(r *comm.Rank) error {
+				return pingPongBody(r, size, iters)
+			})
+			if err != nil {
+				return fmt.Errorf("ping-pong %s/%dB: %w", transport, size, err)
+			}
+			ns := float64(elapsed.Nanoseconds()) / float64(iters)
+			report.PingPong = append(report.PingPong, commPingPongResult{
+				Transport:      transport,
+				Bytes:          size,
+				RoundTrips:     iters,
+				NsPerRoundTrip: ns,
+				// One round trip moves the payload twice.
+				MBPerSec: 2 * float64(size) / 1e6 / (ns / 1e9),
+			})
+			fmt.Printf("comm ping-pong %-4s %8dB  %10.0f ns/rt  %8.1f MB/s\n",
+				transport, size, ns, report.PingPong[len(report.PingPong)-1].MBPerSec)
+		}
+	}
+
+	const ranks = 4
+	for _, size := range []int{4096, 262144} {
+		iters := 100
+		if size >= 262144 {
+			iters = 20
+		}
+		for _, transport := range []string{"chan", "tcp"} {
+			elapsed, err := commWorld(transport, ranks, func(r *comm.Rank) error {
+				return alltoallBody(r, size, iters)
+			})
+			if err != nil {
+				return fmt.Errorf("alltoallv %s/%dB: %w", transport, size, err)
+			}
+			ns := float64(elapsed.Nanoseconds()) / float64(iters)
+			report.Alltoallv = append(report.Alltoallv, commAlltoallResult{
+				Transport:    transport,
+				Ranks:        ranks,
+				BytesPerPair: size,
+				Calls:        iters,
+				NsPerCall:    ns,
+				// Every call moves ranks*ranks pair payloads in total.
+				AggregateMBPerSec: float64(ranks*ranks*size) / 1e6 / (ns / 1e9),
+			})
+			fmt.Printf("comm alltoallv %-4s %8dB/pair  %10.0f ns/call  %8.1f MB/s aggregate\n",
+				transport, size, ns, report.Alltoallv[len(report.Alltoallv)-1].AggregateMBPerSec)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+// commWorld runs body on every rank of an n-rank world over the named
+// transport and returns the elapsed time rank 0 measured between its Barrier
+// bracket (see pingPongBody/alltoallBody, which time only the message loop).
+var commElapsed time.Duration // written by rank 0, read after the world joins
+
+func commWorld(transport string, n int, body func(r *comm.Rank) error) (time.Duration, error) {
+	commElapsed = 0
+	switch transport {
+	case "chan":
+		if err := comm.NewWorld(n).Run(body); err != nil {
+			return 0, err
+		}
+		return commElapsed, nil
+	case "tcp":
+		addrs := make([]string, n)
+		for i := range addrs {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return 0, err
+			}
+			addrs[i] = ln.Addr().String()
+			ln.Close()
+		}
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				r, err := comm.JoinTCP(comm.TCPOptions{Rank: rank, N: n, Addrs: addrs})
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				err = body(r)
+				if cerr := r.Close(); err == nil {
+					err = cerr
+				}
+				errs[rank] = err
+			}(i)
+		}
+		wg.Wait()
+		for rank, err := range errs {
+			if err != nil {
+				return 0, fmt.Errorf("rank %d: %w", rank, err)
+			}
+		}
+		return commElapsed, nil
+	default:
+		return 0, fmt.Errorf("unknown transport %q", transport)
+	}
+}
+
+const commBenchTag = 100
+
+// pingPongBody bounces a size-byte payload between ranks 0 and 1 iters times
+// (plus a short untimed warmup); rank 0 records the elapsed time.
+func pingPongBody(r *comm.Rank, size, iters int) error {
+	payload := make([]byte, size)
+	const warmup = 5
+	if err := r.Barrier(); err != nil {
+		return err
+	}
+	var start time.Time
+	for i := 0; i < warmup+iters; i++ {
+		if i == warmup && r.ID == 0 {
+			start = time.Now()
+		}
+		if r.ID == 0 {
+			if err := r.Send(1, commBenchTag, payload); err != nil {
+				return err
+			}
+			if _, _, err := r.Recv(1, commBenchTag); err != nil {
+				return err
+			}
+		} else {
+			if _, _, err := r.Recv(0, commBenchTag); err != nil {
+				return err
+			}
+			if err := r.Send(0, commBenchTag, payload); err != nil {
+				return err
+			}
+		}
+	}
+	if r.ID == 0 {
+		commElapsed = time.Since(start)
+	}
+	return nil
+}
+
+// alltoallBody issues iters AlltoallvBytes calls with a size-byte payload per
+// destination; rank 0 records the elapsed time.
+func alltoallBody(r *comm.Rank, size, iters int) error {
+	send := make([][]byte, r.N())
+	for dst := range send {
+		send[dst] = make([]byte, size)
+	}
+	if err := r.Barrier(); err != nil {
+		return err
+	}
+	const warmup = 2
+	var start time.Time
+	for i := 0; i < warmup+iters; i++ {
+		if i == warmup && r.ID == 0 {
+			start = time.Now()
+		}
+		if _, err := r.AlltoallvBytes(send, comm.AlltoallDirect); err != nil {
+			return err
+		}
+	}
+	if r.ID == 0 {
+		commElapsed = time.Since(start)
+	}
+	return nil
+}

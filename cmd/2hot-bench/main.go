@@ -40,6 +40,8 @@ func main() {
 	blockstepOut := flag.String("blockstep-out", "BENCH_blockstep.json", "output path of the block-step report")
 	solver := flag.Bool("solver", false, "sweep the same IC through every ForceSolver backend (tree/treepm/pm/direct) and write a JSON report")
 	solverOut := flag.String("solver-out", "BENCH_solver.json", "output path of the solver-sweep report")
+	commBench := flag.Bool("comm", false, "benchmark the in-process channel transport against TCP loopback (point-to-point and alltoallv) and write a JSON report")
+	commOut := flag.String("comm-out", "BENCH_comm.json", "output path of the transport report")
 	flag.Parse()
 
 	if *table3 {
@@ -78,6 +80,12 @@ func main() {
 	if *solver {
 		if err := runSolverSweep(*solverOut); err != nil {
 			fmt.Fprintln(os.Stderr, "solver:", err)
+			os.Exit(1)
+		}
+	}
+	if *commBench {
+		if err := runComm(*commOut); err != nil {
+			fmt.Fprintln(os.Stderr, "comm:", err)
 			os.Exit(1)
 		}
 	}

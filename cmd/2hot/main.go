@@ -12,6 +12,12 @@ import (
 )
 
 func main() {
+	// A config with transport "tcp" runs as separate supervised worker
+	// processes: the supervisor re-executes this binary, and this call
+	// diverts those re-executions into the worker loop (it never returns
+	// in a worker).
+	twohot.ClusterWorkerMain()
+
 	cfgPath := flag.String("config", "", "JSON configuration file (empty: built-in default)")
 	dumpDefault := flag.Bool("print-default-config", false, "print the default configuration and exit")
 	restart := flag.String("restart", "", "checkpoint file to restart from")
@@ -34,6 +40,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	// The multi-process deployment: workers over the fault-tolerant TCP
+	// transport, restarted from the last checkpoint when a rank dies.
+	if cfg.Transport == "tcp" {
+		result, err := twohot.RunClusterSupervised(cfg, twohot.ClusterRunOptions{
+			SnapshotIn: *restart,
+			OnRestart: func(attempt int, cause error) {
+				fmt.Printf("world attempt %d failed (%v); restarting from last checkpoint\n", attempt, cause)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", result)
+		return
+	}
+
 	sim, err := twohot.New(cfg)
 	if err != nil {
 		fatal(err)

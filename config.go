@@ -70,6 +70,14 @@ type Config struct {
 	// DistributedStep pipeline on that many in-process ranks, with
 	// work-weighted domain rebalancing fed back from step to step.
 	Ranks int `json:"ranks,omitempty"`
+	// Transport selects the fabric a Ranks > 1 run communicates over:
+	// "chan" (the default, also the empty string) runs every rank as a
+	// goroutine of this process over shared-memory channels, while "tcp"
+	// runs them as separate supervised worker processes over TCP loopback —
+	// the fault-tolerant deployment mode, with checkpoint-based recovery
+	// when a rank process dies (see RunClusterSupervised and cmd/2hot).
+	// Both fabrics produce bit-identical results.
+	Transport string `json:"transport,omitempty"`
 	// BlockSteps, when positive, replaces every global step with a
 	// hierarchical block step of that many power-of-two rung levels:
 	// particles are assigned to rungs at each block start by the
@@ -90,6 +98,14 @@ type Config struct {
 	// Time integration.
 	ZFinal float64 `json:"z_final"`
 	NSteps int     `json:"n_steps"` // number of equal steps in ln(a)
+
+	// CheckpointEvery, when positive, writes an atomic checkpoint (see
+	// Simulation.CheckpointPath) after every CheckpointEvery-th step, so a
+	// crashed run can resume from the last completed multiple instead of
+	// the beginning.  Requires global stepping (BlockSteps == 0): mid-run,
+	// block-stepped momenta sit at per-particle epochs a single-epoch
+	// snapshot cannot represent.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 
 	// Output.
 	OutputDir string `json:"output_dir"`
@@ -160,6 +176,21 @@ func (c *Config) Validate() error {
 	}
 	if c.Ranks > 1 && c.Solver != SolverTree {
 		return fmt.Errorf("config: ranks > 1 requires the tree solver, not %q", c.Solver)
+	}
+	switch c.Transport {
+	case "", "chan":
+	case "tcp":
+		if c.Ranks < 2 {
+			return fmt.Errorf("config: transport \"tcp\" requires ranks > 1")
+		}
+	default:
+		return fmt.Errorf("config: transport must be \"chan\" or \"tcp\", not %q", c.Transport)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("config: checkpoint_every must not be negative")
+	}
+	if c.CheckpointEvery > 0 && c.BlockSteps > 0 {
+		return fmt.Errorf("config: checkpoint_every requires global stepping (block_steps == 0): mid-run block-stepped momenta sit at per-particle epochs")
 	}
 	if c.BlockSteps < 0 || c.BlockSteps > step.MaxRungs {
 		return fmt.Errorf("config: block_steps must be between 0 and %d", step.MaxRungs)

@@ -72,13 +72,19 @@ func main() {
 	}
 	var decomp *domain.Decomposition
 	counts := make([]int, *nRanks)
-	world.Run(func(r *comm.Rank) {
-		d := domain.Decompose(r, perRank[r.ID], box, domain.Options{Curve: curve}, nil)
+	if err := world.Run(func(r *comm.Rank) error {
+		d, err := domain.Decompose(r, perRank[r.ID], box, domain.Options{Curve: curve}, nil)
+		if err != nil {
+			return err
+		}
 		if r.ID == 0 {
 			decomp = d
 		}
 		counts[r.ID] = perRank[r.ID].Len()
-	})
+		return nil
+	}); err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("decomposed %d particles over %d domains along the %s curve\n", *n, *nRanks, curve)
 	min, max := counts[0], counts[0]

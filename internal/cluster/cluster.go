@@ -1,0 +1,361 @@
+// Package cluster runs a distributed simulation as N cooperating rank
+// processes over the TCP transport, supervised for fault tolerance: ranks
+// advance the comoving leapfrog in lockstep with forces from
+// core.DistributedRankForces, rank 0 writes atomic checkpoints on a fixed
+// cadence, and when any rank dies the supervisor kills the survivors and
+// restarts the whole world from the last good checkpoint.
+//
+// The per-rank body (RankRun) is transport-agnostic: driving it on the
+// in-process channel world and on TCP loopback runs the identical code, which
+// is what makes an N-process run bit-identical to the in-process one.  A
+// restart is bit-identical to an uninterrupted run because every step begins
+// from the canonical layout (rechunk below) and checkpoints capture exactly
+// that layout in full float64 precision.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"time"
+
+	"twohot/internal/comm"
+	"twohot/internal/core"
+	"twohot/internal/cosmo"
+	"twohot/internal/keys"
+	"twohot/internal/particle"
+	"twohot/internal/sdf"
+	"twohot/internal/step"
+	"twohot/internal/vec"
+)
+
+// Spec fully describes a cluster run.  It is plain JSON so the supervisor can
+// hand it to worker processes through a file; every field that influences the
+// physics round-trips exactly (Go's JSON encoding of float64 is lossless).
+type Spec struct {
+	// N is the number of ranks; Addrs their TCP listen addresses (filled by
+	// the supervisor per attempt, one per rank).
+	N     int      `json:"n"`
+	Addrs []string `json:"addrs,omitempty"`
+
+	// Physics and stepping.
+	Cosmology string          `json:"cosmology"`
+	Tree      core.TreeConfig `json:"tree"`
+	Curve     keys.Curve      `json:"curve"`
+	// BranchExchange selects the upper-tree branch distribution
+	// ("allgather" or "ring"); see core.DistributedConfig.
+	BranchExchange string  `json:"branch_exchange,omitempty"`
+	NSteps         int     `json:"n_steps"`
+	DlnA           float64 `json:"dln_a"`
+
+	// Files.  SnapshotIn is the initial state (an SDF snapshot; its "step"
+	// extra, when present, is the number of steps already completed — how a
+	// checkpoint resumes mid-grid).  ResultPath receives the final gathered
+	// snapshot.  CheckpointPath, with CheckpointEvery > 0, receives an atomic
+	// checkpoint after every CheckpointEvery-th step.  All paths must be on a
+	// filesystem every rank process can reach.
+	SnapshotIn      string `json:"snapshot_in"`
+	ResultPath      string `json:"result_path"`
+	CheckpointPath  string `json:"checkpoint_path,omitempty"`
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+
+	// Transport tuning (zero = comm.TCPOptions defaults); tests shrink these
+	// to fail fast.
+	RecvTimeout       time.Duration `json:"recv_timeout,omitempty"`
+	HeartbeatInterval time.Duration `json:"heartbeat_interval,omitempty"`
+	LivenessTimeout   time.Duration `json:"liveness_timeout,omitempty"`
+	RetryBase         time.Duration `json:"retry_base,omitempty"`
+
+	// Chaos, when set, enables fault injection on every rank's transport.  A
+	// positive Chaos.KillAfter applies only to rank ChaosKillRank, so a test
+	// can kill one specific rank; the supervisor disarms the kill on restart.
+	Chaos         *comm.ChaosOptions `json:"chaos,omitempty"`
+	ChaosKillRank int                `json:"chaos_kill_rank,omitempty"`
+}
+
+// LoadSpec reads a spec written by Spec.Save.
+func LoadSpec(path string) (Spec, error) {
+	var s Spec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("cluster: spec %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes the spec as JSON.
+func (s Spec) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Worker joins the TCP world as one rank and runs the stepping loop to
+// completion.  It is the body of a worker process (see WorkerMain).
+func Worker(spec Spec, rank int) error {
+	opt := comm.TCPOptions{
+		Rank:              rank,
+		N:                 spec.N,
+		Addrs:             spec.Addrs,
+		RecvTimeout:       spec.RecvTimeout,
+		HeartbeatInterval: spec.HeartbeatInterval,
+		LivenessTimeout:   spec.LivenessTimeout,
+		RetryBase:         spec.RetryBase,
+	}
+	if spec.Chaos != nil {
+		c := *spec.Chaos
+		if c.KillAfter > 0 && rank != spec.ChaosKillRank {
+			c.KillAfter = 0
+		}
+		opt.Chaos = &c
+	}
+	r, err := comm.JoinTCP(opt)
+	if err != nil {
+		return fmt.Errorf("cluster: rank %d join: %w", rank, err)
+	}
+	runErr := RankRun(r, spec)
+	if cerr := r.Close(); runErr == nil {
+		runErr = cerr
+	}
+	return runErr
+}
+
+// tagGather is the application tag of the gather-to-rank-0 used for
+// checkpoints and the final result.  One tag suffices: the collectives inside
+// every step keep the world in lockstep, so a rank can never have two gather
+// sends in flight to rank 0 at once.
+const tagGather = 8000
+
+// RankRun is the per-rank body of a cluster run, independent of the
+// transport joining r to its world.  Each rank loads its contiguous chunk of
+// the input snapshot, then repeats: distributed force solve, leapfrog
+// kick-drift (identical scalar factors on every rank), and a rechunk back to
+// the canonical contiguous layout.  Rank 0 writes checkpoints and the final
+// result.
+//
+// Domain decomposition runs without work weights: per-particle work is not
+// part of the checkpoint format, and balancing on it would make a restarted
+// run decompose differently from the uninterrupted one.
+func RankRun(r *comm.Rank, spec Spec) error {
+	par, err := cosmo.ByName(spec.Cosmology)
+	if err != nil {
+		return err
+	}
+	snap, err := sdf.Read(spec.SnapshotIn)
+	if err != nil {
+		return fmt.Errorf("cluster: rank %d: %w", r.ID, err)
+	}
+	startStep := 0
+	if v, err := strconv.Atoi(snap.Extra["step"]); err == nil && v > 0 {
+		startStep = v
+	}
+	my := chunkOf(snap.Particles, r.ID, r.N())
+	clk := step.Clock{A: snap.ScaleFac, AMom: snap.MomentumScaleFac}
+
+	dcfg := core.DistributedConfig{
+		Tree:           spec.Tree,
+		NRanks:         r.N(),
+		Curve:          spec.Curve,
+		Alltoall:       comm.AlltoallDirect,
+		BranchExchange: spec.BranchExchange,
+		UseWorkWeights: false,
+	}
+	// Spec.Tree.Workers is a per-process budget; DistributedRankForces
+	// divides its Workers by the rank count (an in-process world shares one
+	// machine), so scale up to hand each process the full budget.
+	if spec.Tree.Workers > 0 {
+		dcfg.Tree.Workers = spec.Tree.Workers * r.N()
+	}
+
+	for s := startStep; s < spec.NSteps; s++ {
+		if err := advanceOnce(r, my, &clk, par, spec, dcfg); err != nil {
+			return fmt.Errorf("cluster: rank %d step %d: %w", r.ID, s, err)
+		}
+		if my, err = rechunk(r, my); err != nil {
+			return fmt.Errorf("cluster: rank %d step %d rechunk: %w", r.ID, s, err)
+		}
+		if spec.CheckpointPath != "" && spec.CheckpointEvery > 0 && (s+1)%spec.CheckpointEvery == 0 {
+			if err := writeGathered(r, my, spec.CheckpointPath, clk, spec, s+1); err != nil {
+				return fmt.Errorf("cluster: rank %d checkpoint after step %d: %w", r.ID, s, err)
+			}
+		}
+	}
+
+	// Close the leapfrog: one more force solve kicks the momenta from the
+	// trailing half step up to the position epoch, so the result snapshot is
+	// synchronized (and a fresh run starting from it re-primes cleanly).
+	if clk.AMom != clk.A {
+		if _, err := core.DistributedRankForces(r, my, dcfg); err != nil {
+			return fmt.Errorf("cluster: rank %d synchronize: %w", r.ID, err)
+		}
+		kick := par.KickFactor(clk.AMom, clk.A)
+		for i := range my.Mom {
+			my.Mom[i] = my.Mom[i].Add(my.Acc[i].Scale(kick))
+		}
+		clk.AMom = clk.A
+		if my, err = rechunk(r, my); err != nil {
+			return fmt.Errorf("cluster: rank %d synchronize rechunk: %w", r.ID, err)
+		}
+	}
+	return writeGathered(r, my, spec.ResultPath, clk, spec, spec.NSteps)
+}
+
+// advanceOnce is one kick-drift leapfrog step (step.Global.Advance) with the
+// force solve distributed across the world.
+func advanceOnce(r *comm.Rank, my *particle.Set, clk *step.Clock, par cosmo.Params, spec Spec, dcfg core.DistributedConfig) error {
+	aNow := clk.A
+	aNext := aNow * math.Exp(spec.DlnA)
+	if aNext > 1 {
+		aNext = 1
+	}
+	aHalfNext := math.Sqrt(aNow * aNext)
+
+	if _, err := core.DistributedRankForces(r, my, dcfg); err != nil {
+		return err
+	}
+	kick := par.KickFactor(clk.AMom, aHalfNext)
+	for i := range my.Mom {
+		my.Mom[i] = my.Mom[i].Add(my.Acc[i].Scale(kick))
+	}
+	clk.AMom = aHalfNext
+
+	drift := par.DriftFactor(aNow, aNext)
+	for i := range my.Pos {
+		p := my.Pos[i].Add(my.Mom[i].Scale(drift))
+		if spec.Tree.Periodic {
+			p = vec.WrapV(p, spec.Tree.BoxSize)
+		}
+		my.Pos[i] = p
+	}
+	clk.A = aNext
+	return nil
+}
+
+// chunkOf returns rank's contiguous chunk of all — the same initial
+// ownership formula core.DistributedStep uses.
+func chunkOf(all *particle.Set, rank, n int) *particle.Set {
+	chunk := (all.Len() + n - 1) / n
+	lo, hi := rank*chunk, (rank+1)*chunk
+	if lo > all.Len() {
+		lo = all.Len()
+	}
+	if hi > all.Len() {
+		hi = all.Len()
+	}
+	my := particle.New(hi - lo)
+	for i := lo; i < hi; i++ {
+		my.AppendFrom(all, i)
+	}
+	return my
+}
+
+// rechunk restores the canonical layout after a force solve left each rank
+// owning a key range: the global rank-order concatenation is re-split into
+// contiguous even chunks, exactly the layout chunkOf hands out.  Every step
+// therefore begins from the state a checkpoint captures, which is what makes
+// a restart bit-identical to the uninterrupted run (and matches the per-call
+// chunking of core.DistributedStep, pinning TCP runs to the in-process ones).
+func rechunk(r *comm.Rank, my *particle.Set) (*particle.Set, error) {
+	n := r.N()
+	counts, err := r.AllgatherUint64([]uint64{uint64(my.Len())})
+	if err != nil {
+		return nil, err
+	}
+	total, myOff := 0, 0
+	for rank, c := range counts {
+		if rank == r.ID {
+			myOff = total
+		}
+		total += int(c)
+	}
+	chunk := (total + n - 1) / n
+
+	send := make([][]byte, n)
+	for dst := 0; dst < n; dst++ {
+		dstLo, dstHi := dst*chunk, (dst+1)*chunk
+		if dstHi > total {
+			dstHi = total
+		}
+		lo, hi := dstLo-myOff, dstHi-myOff
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > my.Len() {
+			hi = my.Len()
+		}
+		if hi <= lo {
+			continue
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		send[dst] = my.EncodeRange(idx)
+	}
+	recv, err := r.AlltoallvBytes(send, comm.AlltoallDirect)
+	if err != nil {
+		return nil, err
+	}
+	// Global offsets ascend with source rank and each source ships one
+	// contiguous range, so concatenating in source order restores ascending
+	// global order.
+	out := particle.New(chunk)
+	for src := 0; src < n; src++ {
+		if len(recv[src]) == 0 {
+			continue
+		}
+		if err := out.DecodeAppend(recv[src]); err != nil {
+			return nil, fmt.Errorf("rechunk from rank %d: %w", src, err)
+		}
+	}
+	return out, nil
+}
+
+// writeGathered collects every rank's particles on rank 0 (in rank order,
+// which after a rechunk is the canonical global order) and writes them
+// atomically to path with the clock state and completed-step count.  Ranks
+// other than 0 only send; the collectives of the next step keep them from
+// racing ahead of the write in any way that matters — a crash meanwhile
+// loses at most the newest checkpoint, never the previous one (sdf.Write
+// renames only complete, checksummed files into place).
+func writeGathered(r *comm.Rank, my *particle.Set, path string, clk step.Clock, spec Spec, stepsDone int) error {
+	if r.ID != 0 {
+		idx := make([]int, my.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		return r.Send(0, tagGather, my.EncodeRange(idx))
+	}
+	all := particle.New(my.Len() * r.N())
+	for i := 0; i < my.Len(); i++ {
+		all.AppendFrom(my, i)
+	}
+	for src := 1; src < r.N(); src++ {
+		data, _, err := r.Recv(src, tagGather)
+		if err != nil {
+			return err
+		}
+		b, ok := data.([]byte)
+		if !ok {
+			return fmt.Errorf("gather from rank %d: unexpected payload %T", src, data)
+		}
+		if err := all.DecodeAppend(b); err != nil {
+			return fmt.Errorf("gather from rank %d: %w", src, err)
+		}
+	}
+	return sdf.Write(path, &sdf.Snapshot{
+		Particles:        all,
+		ScaleFac:         clk.A,
+		MomentumScaleFac: clk.AMom,
+		BoxSize:          spec.Tree.BoxSize,
+		Cosmology:        spec.Cosmology,
+		Extra:            map[string]string{"step": strconv.Itoa(stepsDone)},
+	})
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+)
+
+// Worker processes are ordinary re-executions of the supervising binary: the
+// supervisor sets these environment variables and WorkerMain, called early in
+// main (or TestMain), diverts the process into Worker instead of its normal
+// entry point.
+const (
+	envRank = "TWOHOT_CLUSTER_RANK"
+	envSpec = "TWOHOT_CLUSTER_SPEC"
+)
+
+// WorkerMain checks whether this process was launched as a cluster worker
+// and, if so, runs the worker to completion and exits — it never returns in
+// that case.  Call it before normal argument handling in any binary that
+// Supervise may re-execute.
+func WorkerMain() {
+	rankStr := os.Getenv(envRank)
+	if rankStr == "" {
+		return
+	}
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster worker: bad %s=%q\n", envRank, rankStr)
+		os.Exit(1)
+	}
+	spec, err := LoadSpec(os.Getenv(envSpec))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster worker:", err)
+		os.Exit(1)
+	}
+	if err := Worker(spec, rank); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster worker rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// SuperviseOptions configures the supervising run mode.
+type SuperviseOptions struct {
+	// Command is the argv used to launch each worker process; rank and spec
+	// travel through the environment (WorkerMain).  Typically the supervising
+	// binary itself: []string{os.Args[0]}.
+	Command []string
+	// MaxRestarts bounds how many times the world is restarted after a rank
+	// death before giving up.  0 means the default of 3.
+	MaxRestarts int
+	// Dir receives the per-attempt spec files.  Empty means the directory of
+	// the spec's result path.
+	Dir string
+	// Stderr receives worker process stderr (default os.Stderr).
+	Stderr io.Writer
+	// OnRestart, when non-nil, is called before each restart with the attempt
+	// number just failed (0-based) and its cause.
+	OnRestart func(attempt int, cause error)
+}
+
+// Supervise runs a cluster spec to completion as spec.N separate worker
+// processes, restarting the whole world from the last good checkpoint when
+// any rank dies.  Each attempt gets freshly reserved loopback addresses, so a
+// lingering socket from a killed attempt cannot poison the next one.  An
+// injected chaos kill (Spec.Chaos.KillAfter) is disarmed after the first
+// death: it models one node failure, not a crash loop.
+func Supervise(spec Spec, opt SuperviseOptions) error {
+	if len(opt.Command) == 0 {
+		return fmt.Errorf("cluster: SuperviseOptions.Command is required")
+	}
+	if spec.N < 1 {
+		return fmt.Errorf("cluster: spec needs at least 1 rank")
+	}
+	maxRestarts := opt.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = 3
+	}
+	dir := opt.Dir
+	if dir == "" {
+		dir = filepath.Dir(spec.ResultPath)
+	}
+	stderr := opt.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+
+	for attempt := 0; ; attempt++ {
+		addrs, err := freeLoopbackAddrs(spec.N)
+		if err != nil {
+			return fmt.Errorf("cluster: reserving addresses: %w", err)
+		}
+		spec.Addrs = addrs
+		specPath := filepath.Join(dir, fmt.Sprintf("cluster-spec-%d.json", attempt))
+		if err := spec.Save(specPath); err != nil {
+			return err
+		}
+		err = runWorldOnce(spec, specPath, opt.Command, stderr)
+		if err == nil {
+			return nil
+		}
+		if attempt >= maxRestarts {
+			return fmt.Errorf("cluster: giving up after %d attempts: %w", attempt+1, err)
+		}
+		if opt.OnRestart != nil {
+			opt.OnRestart(attempt, err)
+		}
+		// Resume from the newest complete checkpoint, if one was written.
+		// sdf.Write's atomic rename guarantees the file either is the
+		// previous good checkpoint or the new one, never a torn write.
+		if spec.CheckpointPath != "" {
+			if _, statErr := os.Stat(spec.CheckpointPath); statErr == nil {
+				spec.SnapshotIn = spec.CheckpointPath
+			}
+		}
+		if spec.Chaos != nil && spec.Chaos.KillAfter > 0 {
+			c := *spec.Chaos
+			c.KillAfter = 0
+			spec.Chaos = &c
+		}
+	}
+}
+
+// runWorldOnce launches one process per rank and waits for all of them.  On
+// the first failure the survivors are killed — a world with a dead rank
+// cannot make progress, only time out.
+func runWorldOnce(spec Spec, specPath string, command []string, stderr io.Writer) error {
+	type exit struct {
+		rank int
+		err  error
+	}
+	procs := make([]*exec.Cmd, spec.N)
+	done := make(chan exit, spec.N)
+	started := 0
+	var startErr error
+	for i := 0; i < spec.N; i++ {
+		cmd := exec.Command(command[0], command[1:]...)
+		cmd.Env = append(os.Environ(),
+			envRank+"="+strconv.Itoa(i),
+			envSpec+"="+specPath)
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			startErr = fmt.Errorf("cluster: starting rank %d: %w", i, err)
+			break
+		}
+		procs[i] = cmd
+		started++
+		go func(rank int, cmd *exec.Cmd) {
+			done <- exit{rank, cmd.Wait()}
+		}(i, cmd)
+	}
+	var firstErr error
+	if startErr != nil {
+		firstErr = startErr
+		for _, p := range procs[:started] {
+			p.Process.Kill()
+		}
+	}
+	for remaining := started; remaining > 0; remaining-- {
+		e := <-done
+		if e.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: rank %d: %w", e.rank, e.err)
+			for j, p := range procs[:started] {
+				if j != e.rank {
+					p.Process.Kill()
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// freeLoopbackAddrs reserves n distinct loopback addresses by briefly
+// listening on port 0.  The small window between Close and the worker's own
+// listen can collide; a collision fails the join loudly and the supervisor
+// retries with fresh ports.
+func freeLoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}

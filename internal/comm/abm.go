@@ -1,7 +1,9 @@
 package comm
 
 import (
+	"fmt"
 	"sync"
+	"time"
 )
 
 // ABM is the Asynchronous Batched Message layer of Section 3.2: an
@@ -15,20 +17,19 @@ import (
 //
 // The handler runs on a service goroutine of the owning rank concurrently
 // with that rank's own computation, so it must only read data that is
-// immutable while the ABM is open (the built tree).
+// immutable while the ABM is open (the built tree).  The service goroutine
+// matches only the ABM tags, so it cannot steal collective messages or
+// application point-to-point traffic from the rank's main goroutine.
 type ABM struct {
 	rank    *Rank
 	handler Handler
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	wg sync.WaitGroup
 
 	mu      sync.Mutex
-	pending map[int][]uint64      // destination -> batched keys
 	waiters map[uint64]*abmFuture // request id -> future
 	nextID  uint64
-
-	batchSize int
+	failed  error // first service-loop failure; poisons later requests
 }
 
 // Handler answers a batch of keys requested by rank src.  It must return one
@@ -50,6 +51,7 @@ type abmFuture struct {
 	done chan struct{}
 	data [][]byte
 	keys []uint64
+	err  error
 }
 
 const (
@@ -58,6 +60,11 @@ const (
 	tagABMStop    = 9002
 )
 
+// matchABM filters the service goroutine's receives to the ABM tag space.
+func matchABM(tag int) bool {
+	return tag == tagABMRequest || tag == tagABMReply || tag == tagABMStop
+}
+
 // DefaultBatchSize is the number of keys accumulated per destination before
 // a request batch is flushed automatically.
 const DefaultBatchSize = 64
@@ -65,70 +72,103 @@ const DefaultBatchSize = 64
 // NewABM opens the active-message layer on this rank with the given handler.
 // Every rank in the world must open an ABM (with its own handler) before any
 // rank issues requests, which is guaranteed by the internal barrier.
-func (r *Rank) NewABM(handler Handler) *ABM {
+func (r *Rank) NewABM(handler Handler) (*ABM, error) {
 	a := &ABM{
-		rank:      r,
-		handler:   handler,
-		stop:      make(chan struct{}),
-		pending:   make(map[int][]uint64),
-		waiters:   make(map[uint64]*abmFuture),
-		batchSize: DefaultBatchSize,
+		rank:    r,
+		handler: handler,
+		waiters: make(map[uint64]*abmFuture),
 	}
 	a.wg.Add(1)
 	go a.serve()
-	r.Barrier()
-	return a
+	if err := r.Barrier(); err != nil {
+		a.shutdown(fmt.Errorf("abm open barrier: %w", err))
+		return nil, fmt.Errorf("abm open barrier: %w", err)
+	}
+	return a, nil
 }
 
-// serve processes incoming requests and replies until Close.
+// serve processes incoming requests and replies until the stop message (or a
+// transport failure, which fails every outstanding and future request).
 func (a *ABM) serve() {
 	defer a.wg.Done()
 	for {
-		payload, src := a.rank.Recv(-1, -1)
-		switch msg := payload.(type) {
+		msg, err := a.rank.t.Recv(-1, matchABM, time.Time{})
+		if err != nil {
+			a.fail(fmt.Errorf("abm service recv: %w", err))
+			return
+		}
+		switch p := msg.Payload.(type) {
 		case abmRequest:
-			a.rank.world.mu.Lock()
-			a.rank.world.stats.ABMRequests += int64(len(msg.keys))
-			a.rank.world.stats.ABMBatches++
-			a.rank.world.mu.Unlock()
-			data := a.handler(src, msg.keys)
-			a.rank.Send(src, tagABMReply, abmReply{id: msg.id, data: data})
+			a.rank.stats.countABM(int64(len(p.keys)))
+			data := a.handler(msg.Src, p.keys)
+			if err := a.rank.Send(msg.Src, tagABMReply, abmReply{id: p.id, data: data}); err != nil {
+				a.fail(fmt.Errorf("abm reply to rank %d: %w", msg.Src, err))
+				return
+			}
 		case abmReply:
 			a.mu.Lock()
-			f := a.waiters[msg.id]
-			delete(a.waiters, msg.id)
+			f := a.waiters[p.id]
+			delete(a.waiters, p.id)
 			a.mu.Unlock()
 			if f != nil {
-				f.data = msg.data
+				f.data = p.data
 				close(f.done)
 			}
 		case string:
-			if msg == "stop" {
+			if p == "stop" {
 				return
 			}
 		}
 	}
 }
 
-// Request enqueues keys destined for rank dst and returns a Future that
-// resolves once the (batched) request has been answered.  Batches are flushed
-// when they reach the batch size or when Flush/Wait is called.
-func (a *ABM) Request(dst int, keys []uint64) *Future {
-	f := a.flushLockedAppend(dst, keys)
-	return f
+// fail poisons the ABM: every outstanding and future request resolves with
+// err instead of blocking on a reply that can no longer arrive.
+func (a *ABM) fail(err error) {
+	a.mu.Lock()
+	if a.failed == nil {
+		a.failed = err
+	}
+	waiters := a.waiters
+	a.waiters = make(map[uint64]*abmFuture)
+	a.mu.Unlock()
+	for _, f := range waiters {
+		f.err = err
+		close(f.done)
+	}
 }
 
-// RequestSync is a convenience wrapper that flushes immediately and waits.
-func (a *ABM) RequestSync(dst int, keys []uint64) [][]byte {
+// Request enqueues keys destined for rank dst and returns a Future that
+// resolves once the request has been answered (or the transport failed).
+func (a *ABM) Request(dst int, keys []uint64) (*Future, error) {
 	a.mu.Lock()
+	if a.failed != nil {
+		err := a.failed
+		a.mu.Unlock()
+		return nil, err
+	}
 	id := a.nextID
 	a.nextID++
 	fut := &abmFuture{done: make(chan struct{}), keys: keys}
 	a.waiters[id] = fut
 	a.mu.Unlock()
-	a.rank.Send(dst, tagABMRequest, abmRequest{src: a.rank.ID, id: id, keys: keys})
-	<-fut.done
-	return fut.data
+	if err := a.rank.Send(dst, tagABMRequest, abmRequest{src: a.rank.ID, id: id, keys: keys}); err != nil {
+		a.mu.Lock()
+		delete(a.waiters, id)
+		a.mu.Unlock()
+		return nil, fmt.Errorf("abm request to rank %d: %w", dst, err)
+	}
+	return &Future{fut: fut, keys: keys}, nil
+}
+
+// RequestSync is a convenience wrapper that sends immediately and waits.
+func (a *ABM) RequestSync(dst int, keys []uint64) ([][]byte, error) {
+	f, err := a.Request(dst, keys)
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := f.Wait()
+	return data, err
 }
 
 // Future resolves to the replies for one batch of keys.
@@ -138,28 +178,33 @@ type Future struct {
 }
 
 // Wait blocks until the replies are available and returns them, one per key
-// in the order the keys were requested.
-func (f *Future) Wait() ([][]byte, []uint64) {
+// in the order the keys were requested.  It fails when the transport failed
+// before the reply arrived.
+func (f *Future) Wait() ([][]byte, []uint64, error) {
 	<-f.fut.done
-	return f.fut.data, f.keys
-}
-
-func (a *ABM) flushLockedAppend(dst int, keys []uint64) *Future {
-	a.mu.Lock()
-	id := a.nextID
-	a.nextID++
-	fut := &abmFuture{done: make(chan struct{}), keys: keys}
-	a.waiters[id] = fut
-	a.mu.Unlock()
-	a.rank.Send(dst, tagABMRequest, abmRequest{src: a.rank.ID, id: id, keys: keys})
-	return &Future{fut: fut, keys: keys}
+	if f.fut.err != nil {
+		return nil, f.keys, f.fut.err
+	}
+	return f.fut.data, f.keys, nil
 }
 
 // Close shuts down the service goroutine on every rank.  It must be called
 // collectively (all ranks) after all requests have been answered.
-func (a *ABM) Close() {
-	a.rank.Barrier()
-	a.rank.Send(a.rank.ID, tagABMStop, "stop")
+func (a *ABM) Close() error {
+	if err := a.rank.Barrier(); err != nil {
+		a.shutdown(fmt.Errorf("abm close barrier: %w", err))
+		return fmt.Errorf("abm close barrier: %w", err)
+	}
+	a.shutdown(ErrClosed)
+	return a.rank.Barrier()
+}
+
+// shutdown stops the service goroutine (by a stop message to self) and
+// resolves outstanding futures with cause.
+func (a *ABM) shutdown(cause error) {
+	// The self-send cannot fail on a live transport; if it does the service
+	// loop is already dead from the same underlying failure.
+	_ = a.rank.Send(a.rank.ID, tagABMStop, "stop")
 	a.wg.Wait()
-	a.rank.Barrier()
+	a.fail(cause)
 }

@@ -1,0 +1,120 @@
+package comm
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// ChaosOptions configures the deterministic fault-injection wrapper of the
+// TCP transport.  Faults apply only to first-attempt data and ack frames:
+// retransmissions, heartbeats, and the join handshake are exempt, so every
+// injected fault is recoverable by the reliability layer (drop and corrupt
+// are retransmitted, duplicates are deduplicated, delays reorder) and the
+// liveness channel stays honest.  KillAfter is the exception — it terminates
+// the process abruptly, modeling node death for the supervisor to handle.
+//
+// Rates are per-frame probabilities drawn from a rand stream seeded by
+// (Seed, rank, destination), so a given topology and seed replays the same
+// fault pattern per connection.
+type ChaosOptions struct {
+	Seed int64
+
+	DropRate      float64
+	DelayRate     float64
+	DuplicateRate float64
+	CorruptRate   float64
+
+	// MaxDelay bounds injected delays.  Default 20ms.
+	MaxDelay time.Duration
+
+	// KillAfter, when positive, terminates this process (os.Exit with
+	// ChaosKillExitCode) after that many outgoing data frames — the
+	// injected analogue of a node dying mid-step.
+	KillAfter int
+}
+
+// ChaosKillExitCode is the exit status of a chaos-killed rank process, so a
+// supervisor can tell an injected kill from an ordinary failure.
+const ChaosKillExitCode = 37
+
+type chaosAction int
+
+const (
+	chaosNone chaosAction = iota
+	chaosDrop
+	chaosDelay
+	chaosDuplicate
+	chaosCorrupt
+)
+
+// chaosInjector draws per-frame fault decisions.  One rand stream per
+// destination keeps the decision sequence on each connection a function of
+// that connection's own traffic only.
+type chaosInjector struct {
+	opt  ChaosOptions
+	rank int
+
+	mu         sync.Mutex
+	perDst     map[int]*rand.Rand
+	dataFrames int
+}
+
+func newChaosInjector(opt ChaosOptions, rank int) *chaosInjector {
+	if opt.MaxDelay <= 0 {
+		opt.MaxDelay = 20 * time.Millisecond
+	}
+	return &chaosInjector{opt: opt, rank: rank, perDst: make(map[int]*rand.Rand)}
+}
+
+// onSend decides the fate of one first-attempt outgoing frame.
+func (c *chaosInjector) onSend(dst int, kind uint8, wire []byte) (chaosAction, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if kind == kindData && c.opt.KillAfter > 0 {
+		c.dataFrames++
+		if c.dataFrames >= c.opt.KillAfter {
+			os.Exit(ChaosKillExitCode)
+		}
+	}
+	rng := c.perDst[dst]
+	if rng == nil {
+		rng = rand.New(rand.NewSource(c.opt.Seed ^ int64(c.rank)<<32 ^ int64(dst)))
+		c.perDst[dst] = rng
+	}
+	x := rng.Float64()
+	switch {
+	case x < c.opt.DropRate:
+		return chaosDrop, 0
+	case x < c.opt.DropRate+c.opt.DelayRate:
+		return chaosDelay, time.Duration(rng.Int63n(int64(c.opt.MaxDelay) + 1))
+	case x < c.opt.DropRate+c.opt.DelayRate+c.opt.DuplicateRate:
+		return chaosDuplicate, 0
+	case x < c.opt.DropRate+c.opt.DelayRate+c.opt.DuplicateRate+c.opt.CorruptRate:
+		return chaosCorrupt, 0
+	}
+	return chaosNone, 0
+}
+
+// corruptFrame flips bytes inside the frame's payload (or its checksum when
+// the payload is empty), leaving the header intact: the receiver's stream
+// stays aligned, the CRC check rejects the frame, and the retransmission
+// delivers the true bytes.
+func corruptFrame(wire []byte, c *chaosInjector) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	plen := int(binary.LittleEndian.Uint32(wire[23:]))
+	rng := c.perDst[-1]
+	if rng == nil {
+		rng = rand.New(rand.NewSource(c.opt.Seed ^ int64(c.rank)<<32 ^ -1))
+		c.perDst[-1] = rng
+	}
+	if plen > 0 {
+		wire[frameHeaderSize+rng.Intn(plen)] ^= 0xFF
+	} else {
+		wire[len(wire)-1-rng.Intn(4)] ^= 0xFF
+	}
+	return wire
+}

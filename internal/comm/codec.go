@@ -1,0 +1,329 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The payload codec gives the TCP transport the by-value twin of the
+// in-process by-reference payload passing: the closed set of Go values the
+// communication patterns exchange (raw byte blocks, numeric slices, scalars,
+// the ABM request/reply pair, the hierarchical-alltoall bundle, and the
+// []any used by Allgather) round-trips through a type-prefixed binary
+// encoding.  Decoding applies the same hardening as the wire frame: every
+// length is bounds-checked against the remaining input before allocation.
+
+const (
+	ptNil = uint8(iota)
+	ptBytes
+	ptUint64s
+	ptFloat64s
+	ptInts
+	ptFloat64
+	ptInt64
+	ptInt
+	ptUint64
+	ptString
+	ptBool
+	ptABMRequest
+	ptABMReply
+	ptBundle
+	ptAnySlice
+)
+
+// encodePayload appends the encoding of v to buf.  It fails on a type
+// outside the codec's closed set — process-spanning transports cannot ship
+// arbitrary Go values.
+func encodePayload(buf []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, ptNil), nil
+	case []byte:
+		buf = append(buf, ptBytes)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...), nil
+	case []uint64:
+		buf = append(buf, ptUint64s)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		for _, u := range x {
+			buf = binary.LittleEndian.AppendUint64(buf, u)
+		}
+		return buf, nil
+	case []float64:
+		buf = append(buf, ptFloat64s)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		for _, f := range x {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		return buf, nil
+	case []int:
+		buf = append(buf, ptInts)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		for _, i := range x {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(i))
+		}
+		return buf, nil
+	case float64:
+		buf = append(buf, ptFloat64)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(x)), nil
+	case int64:
+		buf = append(buf, ptInt64)
+		return binary.LittleEndian.AppendUint64(buf, uint64(x)), nil
+	case int:
+		buf = append(buf, ptInt)
+		return binary.LittleEndian.AppendUint64(buf, uint64(x)), nil
+	case uint64:
+		buf = append(buf, ptUint64)
+		return binary.LittleEndian.AppendUint64(buf, x), nil
+	case string:
+		buf = append(buf, ptString)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...), nil
+	case bool:
+		buf = append(buf, ptBool)
+		if x {
+			return append(buf, 1), nil
+		}
+		return append(buf, 0), nil
+	case abmRequest:
+		buf = append(buf, ptABMRequest)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x.src))
+		buf = binary.LittleEndian.AppendUint64(buf, x.id)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x.keys)))
+		for _, k := range x.keys {
+			buf = binary.LittleEndian.AppendUint64(buf, k)
+		}
+		return buf, nil
+	case abmReply:
+		buf = append(buf, ptABMReply)
+		buf = binary.LittleEndian.AppendUint64(buf, x.id)
+		return appendByteBlocks(buf, x.data), nil
+	case bundle:
+		buf = append(buf, ptBundle)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x.Src)))
+		for _, s := range x.Src {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(s))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x.Dst)))
+		for _, d := range x.Dst {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(d))
+		}
+		return appendByteBlocks(buf, x.Data), nil
+	case []any:
+		buf = append(buf, ptAnySlice)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x)))
+		var err error
+		for _, e := range x {
+			if buf, err = encodePayload(buf, e); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("comm: payload type %T is not wire-encodable", v)
+	}
+}
+
+func appendByteBlocks(buf []byte, blocks [][]byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blocks)))
+	for _, b := range blocks {
+		// Distinguish nil from empty so by-value decoding mirrors the
+		// by-reference in-process payloads exactly.
+		if b == nil {
+			buf = binary.LittleEndian.AppendUint32(buf, ^uint32(0))
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
+// decodePayload decodes one value and returns it with the remaining input.
+func decodePayload(buf []byte) (any, []byte, error) {
+	if len(buf) < 1 {
+		return nil, nil, fmt.Errorf("comm: empty payload")
+	}
+	pt, rest := buf[0], buf[1:]
+	switch pt {
+	case ptNil:
+		return nil, rest, nil
+	case ptBytes:
+		n, rest, err := decodeLen(rest, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]byte, n)
+		copy(out, rest[:n])
+		return out, rest[n:], nil
+	case ptUint64s:
+		n, rest, err := decodeLen(rest, 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(rest[8*i:])
+		}
+		return out, rest[8*n:], nil
+	case ptFloat64s:
+		n, rest, err := decodeLen(rest, 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		return out, rest[8*n:], nil
+	case ptInts:
+		n, rest, err := decodeLen(rest, 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]int, n)
+		for i := range out {
+			out[i] = int(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		return out, rest[8*n:], nil
+	case ptFloat64:
+		if len(rest) < 8 {
+			return nil, nil, fmt.Errorf("comm: truncated float64 payload")
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(rest)), rest[8:], nil
+	case ptInt64:
+		if len(rest) < 8 {
+			return nil, nil, fmt.Errorf("comm: truncated int64 payload")
+		}
+		return int64(binary.LittleEndian.Uint64(rest)), rest[8:], nil
+	case ptInt:
+		if len(rest) < 8 {
+			return nil, nil, fmt.Errorf("comm: truncated int payload")
+		}
+		return int(binary.LittleEndian.Uint64(rest)), rest[8:], nil
+	case ptUint64:
+		if len(rest) < 8 {
+			return nil, nil, fmt.Errorf("comm: truncated uint64 payload")
+		}
+		return binary.LittleEndian.Uint64(rest), rest[8:], nil
+	case ptString:
+		n, rest, err := decodeLen(rest, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		return string(rest[:n]), rest[n:], nil
+	case ptBool:
+		if len(rest) < 1 {
+			return nil, nil, fmt.Errorf("comm: truncated bool payload")
+		}
+		return rest[0] != 0, rest[1:], nil
+	case ptABMRequest:
+		if len(rest) < 12 {
+			return nil, nil, fmt.Errorf("comm: truncated abm request")
+		}
+		req := abmRequest{
+			src: int(binary.LittleEndian.Uint32(rest)),
+			id:  binary.LittleEndian.Uint64(rest[4:]),
+		}
+		n, rest, err := decodeLen(rest[12:], 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		req.keys = make([]uint64, n)
+		for i := range req.keys {
+			req.keys[i] = binary.LittleEndian.Uint64(rest[8*i:])
+		}
+		return req, rest[8*n:], nil
+	case ptABMReply:
+		if len(rest) < 8 {
+			return nil, nil, fmt.Errorf("comm: truncated abm reply")
+		}
+		rep := abmReply{id: binary.LittleEndian.Uint64(rest)}
+		data, rest, err := decodeByteBlocks(rest[8:])
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.data = data
+		return rep, rest, nil
+	case ptBundle:
+		var b bundle
+		n, rest, err := decodeLen(rest, 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.Src = make([]int, n)
+		for i := range b.Src {
+			b.Src[i] = int(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		rest = rest[8*n:]
+		n, rest, err = decodeLen(rest, 8)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.Dst = make([]int, n)
+		for i := range b.Dst {
+			b.Dst[i] = int(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		b.Data, rest, err = decodeByteBlocks(rest[8*n:])
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, rest, nil
+	case ptAnySlice:
+		n, rest, err := decodeLen(rest, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]any, n)
+		for i := range out {
+			out[i], rest, err = decodePayload(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return out, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("comm: unknown payload type %d", pt)
+	}
+}
+
+// decodeLen reads a u32 count and verifies that count*elemSize bytes remain,
+// so a corrupted length cannot drive an implausible allocation.
+func decodeLen(buf []byte, elemSize int) (int, []byte, error) {
+	if len(buf) < 4 {
+		return 0, nil, fmt.Errorf("comm: truncated length prefix")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	rest := buf[4:]
+	if n < 0 || n*elemSize > len(rest) {
+		return 0, nil, fmt.Errorf("comm: implausible element count %d for %d remaining bytes", n, len(rest))
+	}
+	return n, rest, nil
+}
+
+func decodeByteBlocks(buf []byte) ([][]byte, []byte, error) {
+	n, rest, err := decodeLen(buf, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		if len(rest) < 4 {
+			return nil, nil, fmt.Errorf("comm: truncated block length")
+		}
+		bl := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if bl == ^uint32(0) {
+			out[i] = nil
+			continue
+		}
+		if int(bl) > len(rest) {
+			return nil, nil, fmt.Errorf("comm: implausible block length %d for %d remaining bytes", bl, len(rest))
+		}
+		out[i] = make([]byte, bl)
+		copy(out[i], rest[:bl])
+		rest = rest[bl:]
+	}
+	return out, rest, nil
+}

@@ -1,0 +1,463 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// The collectives are built on point-to-point messages in the reserved
+// internal tag space, so they work identically over every Transport (the
+// in-process fabric and TCP).  Each collective call consumes one sequence
+// number from the rank's counter; since all ranks call collectives in
+// lockstep (the SPMD contract), the counters agree across ranks and the
+// sequence-keyed tags isolate consecutive collectives from each other even
+// when some ranks race ahead — no barrier separators needed.
+
+// collTag maps (collective sequence, sub-channel) into the internal tag
+// space.  The sub-channel distinguishes message roles within one collective
+// (barrier rounds, alltoall steps, hierarchical up/inter/down lanes).
+func collTag(seq int64, sub int) int {
+	if sub < 0 || sub >= 1<<20 {
+		panic(fmt.Sprintf("comm: collective sub-channel %d out of range", sub))
+	}
+	return internalTagBase + int(seq)<<20 + sub
+}
+
+func (r *Rank) nextSeq() int64 {
+	s := r.collSeq
+	r.collSeq++
+	return s
+}
+
+// isend sends an internal (collective) message, counted separately from the
+// application point-to-point statistics.
+func (r *Rank) isend(dst, tag int, payload any) error {
+	r.stats.countCollective(false, 1)
+	return r.t.Send(dst, tag, payload)
+}
+
+// irecv receives an internal message by exact (src, tag) with the
+// transport's default deadline.
+func (r *Rank) irecv(src, tag int) (any, error) {
+	msg, err := r.t.Recv(src, matchExact(tag), time.Time{})
+	if err != nil {
+		return nil, err
+	}
+	return msg.Payload, nil
+}
+
+// Barrier blocks until all ranks reach it.  It fails (instead of hanging)
+// when a participating rank is gone.
+func (r *Rank) Barrier() error {
+	r.stats.countCollective(true, 0)
+	n := r.N()
+	if n == 1 {
+		return nil
+	}
+	seq := r.nextSeq()
+	// Dissemination barrier: log2(n) rounds of shifted token exchange.  The
+	// round index keys the sub-channel; within a round each rank receives
+	// from exactly one distinct source, so exact (src, tag) matching holds.
+	round := 0
+	for d := 1; d < n; d <<= 1 {
+		tag := collTag(seq, round)
+		if err := r.isend((r.ID+d)%n, tag, nil); err != nil {
+			return fmt.Errorf("barrier round %d: %w", round, err)
+		}
+		if _, err := r.irecv((r.ID-d+n)%n, tag); err != nil {
+			return fmt.Errorf("barrier round %d: %w", round, err)
+		}
+		round++
+	}
+	return nil
+}
+
+// Broadcast distributes root's value to all ranks and returns it.
+func (r *Rank) Broadcast(root int, value any) (any, error) {
+	r.stats.countCollective(true, 0)
+	seq := r.nextSeq()
+	if r.N() == 1 {
+		return value, nil
+	}
+	tag := collTag(seq, 0)
+	if r.ID == root {
+		for dst := 0; dst < r.N(); dst++ {
+			if dst == root {
+				continue
+			}
+			if err := r.isend(dst, tag, value); err != nil {
+				return nil, fmt.Errorf("broadcast to rank %d: %w", dst, err)
+			}
+		}
+		return value, nil
+	}
+	v, err := r.irecv(root, tag)
+	if err != nil {
+		return nil, fmt.Errorf("broadcast from root %d: %w", root, err)
+	}
+	return v, nil
+}
+
+// gatherRoot collects one value per rank, in rank order, on rank 0; other
+// ranks receive nil.  Used by the reductions so the combining order (and
+// therefore the floating-point rounding) is the rank order, matching the
+// serial reference.
+func (r *Rank) gatherRoot(seq int64, v any) ([]any, error) {
+	tag := collTag(seq, 1)
+	if r.ID != 0 {
+		if err := r.isend(0, tag, v); err != nil {
+			return nil, fmt.Errorf("gather to root: %w", err)
+		}
+		return nil, nil
+	}
+	buf := make([]any, r.N())
+	buf[0] = v
+	for src := 1; src < r.N(); src++ {
+		p, err := r.irecv(src, tag)
+		if err != nil {
+			return nil, fmt.Errorf("gather from rank %d: %w", src, err)
+		}
+		buf[src] = p
+	}
+	return buf, nil
+}
+
+// AllreduceFloat64 reduces one float64 per rank with op ("sum", "min",
+// "max") and returns the result on every rank.  The reduction combines
+// contributions in rank order on rank 0, so the result is bitwise
+// deterministic for a given rank count.
+func (r *Rank) AllreduceFloat64(v float64, op string) (float64, error) {
+	r.stats.countCollective(true, 0)
+	seq := r.nextSeq()
+	if r.N() == 1 {
+		return reduceFloat64([]any{v}, op), nil
+	}
+	buf, err := r.gatherRoot(seq, v)
+	if err != nil {
+		return 0, fmt.Errorf("allreduce float64: %w", err)
+	}
+	var out float64
+	tag := collTag(seq, 2)
+	if r.ID == 0 {
+		out = reduceFloat64(buf, op)
+		for dst := 1; dst < r.N(); dst++ {
+			if err := r.isend(dst, tag, out); err != nil {
+				return 0, fmt.Errorf("allreduce float64: %w", err)
+			}
+		}
+		return out, nil
+	}
+	p, err := r.irecv(0, tag)
+	if err != nil {
+		return 0, fmt.Errorf("allreduce float64: %w", err)
+	}
+	return p.(float64), nil
+}
+
+func reduceFloat64(buf []any, op string) float64 {
+	out := buf[0].(float64)
+	switch op {
+	case "min":
+		for i := 1; i < len(buf); i++ {
+			if x := buf[i].(float64); x < out {
+				out = x
+			}
+		}
+	case "max":
+		for i := 1; i < len(buf); i++ {
+			if x := buf[i].(float64); x > out {
+				out = x
+			}
+		}
+	default:
+		for i := 1; i < len(buf); i++ {
+			out += buf[i].(float64)
+		}
+	}
+	return out
+}
+
+// AllreduceInt64 sums one int64 per rank across the world.
+func (r *Rank) AllreduceInt64(v int64) (int64, error) {
+	r.stats.countCollective(true, 0)
+	seq := r.nextSeq()
+	if r.N() == 1 {
+		return v, nil
+	}
+	buf, err := r.gatherRoot(seq, v)
+	if err != nil {
+		return 0, fmt.Errorf("allreduce int64: %w", err)
+	}
+	tag := collTag(seq, 2)
+	if r.ID == 0 {
+		var out int64
+		for _, p := range buf {
+			out += p.(int64)
+		}
+		for dst := 1; dst < r.N(); dst++ {
+			if err := r.isend(dst, tag, out); err != nil {
+				return 0, fmt.Errorf("allreduce int64: %w", err)
+			}
+		}
+		return out, nil
+	}
+	p, err := r.irecv(0, tag)
+	if err != nil {
+		return 0, fmt.Errorf("allreduce int64: %w", err)
+	}
+	return p.(int64), nil
+}
+
+// Allgather collects one value per rank into a slice indexed by rank,
+// returned on every rank.  The caller must not mutate the result.
+func (r *Rank) Allgather(v any) ([]any, error) {
+	r.stats.countCollective(true, 0)
+	seq := r.nextSeq()
+	if r.N() == 1 {
+		return []any{v}, nil
+	}
+	buf, err := r.gatherRoot(seq, v)
+	if err != nil {
+		return nil, fmt.Errorf("allgather: %w", err)
+	}
+	tag := collTag(seq, 2)
+	if r.ID == 0 {
+		for dst := 1; dst < r.N(); dst++ {
+			if err := r.isend(dst, tag, buf); err != nil {
+				return nil, fmt.Errorf("allgather: %w", err)
+			}
+		}
+		return buf, nil
+	}
+	p, err := r.irecv(0, tag)
+	if err != nil {
+		return nil, fmt.Errorf("allgather: %w", err)
+	}
+	return p.([]any), nil
+}
+
+// AllgatherUint64 gathers variable-length uint64 slices from every rank and
+// returns the concatenation (in rank order) on every rank.
+func (r *Rank) AllgatherUint64(v []uint64) ([]uint64, error) {
+	parts, err := r.Allgather(v)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, p := range parts {
+		out = append(out, p.([]uint64)...)
+	}
+	return out, nil
+}
+
+// AlltoallAlgorithm selects the data-exchange implementation.
+type AlltoallAlgorithm int
+
+const (
+	// AlltoallDirect posts every outgoing block eagerly, then receives in
+	// source order (the idealized library implementation).
+	AlltoallDirect AlltoallAlgorithm = iota
+	// AlltoallPairwise loops over all pairs of processes exchanging data,
+	// the "trivial implementation" that outperformed the system MPI at
+	// 32k+ processes in the paper.
+	AlltoallPairwise
+	// AlltoallHierarchical relays messages through one leader per node
+	// group, the rewrite that fixed the buffer blow-up in OpenMPI.
+	AlltoallHierarchical
+)
+
+// AlltoallvBytes exchanges send[dst] with every destination and returns
+// recv[src].  All ranks must call it with the same algorithm.
+func (r *Rank) AlltoallvBytes(send [][]byte, algo AlltoallAlgorithm) ([][]byte, error) {
+	if len(send) != r.N() {
+		return nil, fmt.Errorf("comm: Alltoallv send length %d must equal world size %d", len(send), r.N())
+	}
+	r.stats.countCollective(true, 0)
+	seq := r.nextSeq()
+	switch algo {
+	case AlltoallPairwise:
+		return r.alltoallPairwise(seq, send)
+	case AlltoallHierarchical:
+		return r.alltoallHierarchical(seq, send)
+	default:
+		return r.alltoallDirect(seq, send)
+	}
+}
+
+func (r *Rank) alltoallDirect(seq int64, send [][]byte) ([][]byte, error) {
+	n := r.N()
+	tag := collTag(seq, 0)
+	for dst := 0; dst < n; dst++ {
+		if dst == r.ID {
+			continue
+		}
+		if err := r.isend(dst, tag, send[dst]); err != nil {
+			return nil, fmt.Errorf("alltoall direct send to %d: %w", dst, err)
+		}
+	}
+	recv := make([][]byte, n)
+	recv[r.ID] = send[r.ID]
+	for src := 0; src < n; src++ {
+		if src == r.ID {
+			continue
+		}
+		p, err := r.irecv(src, tag)
+		if err != nil {
+			return nil, fmt.Errorf("alltoall direct recv from %d: %w", src, err)
+		}
+		recv[src], _ = p.([]byte)
+	}
+	return recv, nil
+}
+
+func (r *Rank) alltoallPairwise(seq int64, send [][]byte) ([][]byte, error) {
+	n := r.N()
+	recv := make([][]byte, n)
+	recv[r.ID] = send[r.ID]
+	// Loop over all pairs: at step s exchange with dst = (rank + s) mod n and
+	// src = (rank - s) mod n; the step index keys the sub-channel.
+	for s := 1; s < n; s++ {
+		dst := (r.ID + s) % n
+		src := (r.ID - s + n) % n
+		tag := collTag(seq, s)
+		if err := r.isend(dst, tag, send[dst]); err != nil {
+			return nil, fmt.Errorf("alltoall pairwise step %d send: %w", s, err)
+		}
+		p, err := r.irecv(src, tag)
+		if err != nil {
+			return nil, fmt.Errorf("alltoall pairwise step %d recv: %w", s, err)
+		}
+		recv[src], _ = p.([]byte)
+	}
+	return recv, nil
+}
+
+// bundle is the leader-to-leader unit of the hierarchical relay: the blocks
+// from every source in one group to every destination in another.
+type bundle struct {
+	Src  []int
+	Dst  []int
+	Data [][]byte
+}
+
+// alltoallHierarchical relays all traffic through group leaders: ranks are
+// grouped into "nodes" of size g; only leaders exchange inter-node traffic.
+// Sub-channels: [0,n) member->leader uploads by destination, [n,2n)
+// leader->leader bundles by sending leader, [2n,3n) leader->member
+// deliveries by original source.
+func (r *Rank) alltoallHierarchical(seq int64, send [][]byte) ([][]byte, error) {
+	n := r.N()
+	g := nodeGroupSize(n)
+	leader := (r.ID / g) * g
+	nGroups := (n + g - 1) / g
+
+	if r.ID != leader {
+		// Send all outgoing blocks to the leader, then receive all incoming.
+		for dst := 0; dst < n; dst++ {
+			if err := r.isend(leader, collTag(seq, dst), send[dst]); err != nil {
+				return nil, fmt.Errorf("alltoall hierarchical upload: %w", err)
+			}
+		}
+		recv := make([][]byte, n)
+		for src := 0; src < n; src++ {
+			p, err := r.irecv(leader, collTag(seq, 2*n+src))
+			if err != nil {
+				return nil, fmt.Errorf("alltoall hierarchical delivery: %w", err)
+			}
+			recv[src], _ = p.([]byte)
+		}
+		return recv, nil
+	}
+
+	// Leader: gather blocks from group members (including itself).
+	groupHi := leader + g
+	if groupHi > n {
+		groupHi = n
+	}
+	// blocks[srcLocal][dst]
+	blocks := make(map[int][][]byte)
+	blocks[r.ID] = send
+	for m := leader + 1; m < groupHi; m++ {
+		mb := make([][]byte, n)
+		for dst := 0; dst < n; dst++ {
+			p, err := r.irecv(m, collTag(seq, dst))
+			if err != nil {
+				return nil, fmt.Errorf("alltoall hierarchical gather from member %d: %w", m, err)
+			}
+			mb[dst], _ = p.([]byte)
+		}
+		blocks[m] = mb
+	}
+	// Exchange bundles between leaders.
+	for gi := 0; gi < nGroups; gi++ {
+		otherLeader := gi * g
+		if otherLeader == leader {
+			continue
+		}
+		otherHi := otherLeader + g
+		if otherHi > n {
+			otherHi = n
+		}
+		var b bundle
+		for src := leader; src < groupHi; src++ {
+			for dst := otherLeader; dst < otherHi; dst++ {
+				b.Src = append(b.Src, src)
+				b.Dst = append(b.Dst, dst)
+				b.Data = append(b.Data, blocks[src][dst])
+			}
+		}
+		if err := r.isend(otherLeader, collTag(seq, n+leader), b); err != nil {
+			return nil, fmt.Errorf("alltoall hierarchical inter-leader send: %w", err)
+		}
+	}
+	// Receive bundles from other leaders.
+	incoming := make(map[int]map[int][]byte) // dst -> src -> data
+	for dst := leader; dst < groupHi; dst++ {
+		incoming[dst] = make(map[int][]byte)
+	}
+	// Intra-group traffic.
+	for src := leader; src < groupHi; src++ {
+		for dst := leader; dst < groupHi; dst++ {
+			incoming[dst][src] = blocks[src][dst]
+		}
+	}
+	for gi := 0; gi < nGroups; gi++ {
+		otherLeader := gi * g
+		if otherLeader == leader {
+			continue
+		}
+		p, err := r.irecv(otherLeader, collTag(seq, n+otherLeader))
+		if err != nil {
+			return nil, fmt.Errorf("alltoall hierarchical inter-leader recv: %w", err)
+		}
+		b := p.(bundle)
+		for i := range b.Src {
+			incoming[b.Dst[i]][b.Src[i]] = b.Data[i]
+		}
+	}
+	// Deliver to members.
+	for m := leader + 1; m < groupHi; m++ {
+		for src := 0; src < n; src++ {
+			if err := r.isend(m, collTag(seq, 2*n+src), incoming[m][src]); err != nil {
+				return nil, fmt.Errorf("alltoall hierarchical deliver to member %d: %w", m, err)
+			}
+		}
+	}
+	recv := make([][]byte, n)
+	for src := 0; src < n; src++ {
+		recv[src] = incoming[r.ID][src]
+	}
+	return recv, nil
+}
+
+// nodeGroupSize picks the "node" size for the hierarchical relay.
+func nodeGroupSize(n int) int {
+	g := 1
+	for g*g < n {
+		g++
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

@@ -1,189 +1,315 @@
-// Package comm is the message-passing runtime on which the distributed
-// phases of 2HOT run.  The paper uses MPI on up to 262,144 processes; in this
-// shared-memory reproduction each "rank" is a goroutine and messages travel
-// over channels, but the communication *patterns* the paper discusses are
-// implemented faithfully:
-//
-//   - point-to-point sends and receives with tag matching,
-//   - collectives (Barrier, Allreduce, Allgather, Broadcast),
-//   - three Alltoallv implementations (direct, pairwise exchange, and the
-//     hierarchical node-leader relay the authors had to write when the
-//     library implementations stopped scaling, Section 3.1),
-//   - the Asynchronous Batched Message (ABM) active-message layer used to
-//     fetch remote tree cells during traversal (Section 3.2).
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
-// World is a communicator spanning NRanks ranks.
+// World is an in-process communicator spanning NRanks ranks: every rank is a
+// goroutine of Run and messages travel through shared-memory mailboxes.  It
+// is the reference Transport implementation the process-spanning transports
+// (JoinTCP) are pinned against, and the fabric the distributed solver uses
+// when Config.Ranks > 1 without a TCP deployment.
 type World struct {
 	NRanks int
 
-	barrier *reusableBarrier
-	// staging area for the direct collectives: slot[src][dst]
-	stage [][]any
-	// reduction scratch
-	reduceBuf []any
-
-	mailboxes []*mailbox
-
-	// Statistics (updated atomically under mu).
-	mu    sync.Mutex
-	stats Stats
+	fabric *chanFabric
+	stats  statsSink
 }
 
-// Stats counts messages and bytes moved through the world, used by the
-// Table 2 style breakdowns and the Alltoall benchmarks.
+// Stats counts messages and bytes moved through a communicator, used by the
+// Table 2 style breakdowns and the Alltoall benchmarks.  Point-to-point
+// counters cover application sends (including the ABM and the alltoall
+// algorithms built on them); collective counters cover the sequenced
+// messages of Barrier/Broadcast/Allreduce/Allgather.
 type Stats struct {
 	PointToPointMsgs  int64
 	PointToPointBytes int64
 	CollectiveCalls   int64
+	CollectiveMsgs    int64
 	ABMRequests       int64
 	ABMBatches        int64
 }
 
-// NewWorld creates a communicator with n ranks.
+// statsSink is a mutex-guarded Stats accumulator shared by the ranks of a
+// world (or owned by a single TCP rank).
+type statsSink struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (ss *statsSink) countMsg(bytes int) {
+	ss.mu.Lock()
+	ss.s.PointToPointMsgs++
+	ss.s.PointToPointBytes += int64(bytes)
+	ss.mu.Unlock()
+}
+
+func (ss *statsSink) countCollective(call bool, msgs int64) {
+	ss.mu.Lock()
+	if call {
+		ss.s.CollectiveCalls++
+	}
+	ss.s.CollectiveMsgs += msgs
+	ss.mu.Unlock()
+}
+
+func (ss *statsSink) countABM(requests int64) {
+	ss.mu.Lock()
+	ss.s.ABMRequests += requests
+	ss.s.ABMBatches++
+	ss.mu.Unlock()
+}
+
+func (ss *statsSink) snapshot() Stats {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s
+}
+
+func (ss *statsSink) reset() {
+	ss.mu.Lock()
+	ss.s = Stats{}
+	ss.mu.Unlock()
+}
+
+// NewWorld creates an in-process communicator with n ranks.
 func NewWorld(n int) *World {
 	if n < 1 {
 		panic("comm: world size must be >= 1")
 	}
-	w := &World{
-		NRanks:    n,
-		barrier:   newReusableBarrier(n),
-		stage:     make([][]any, n),
-		reduceBuf: make([]any, n),
-		mailboxes: make([]*mailbox, n),
-	}
-	for i := range w.stage {
-		w.stage[i] = make([]any, n)
-	}
-	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox()
-	}
+	w := &World{NRanks: n}
+	w.fabric = newChanFabric(n)
 	return w
 }
 
-// Stats returns a snapshot of the communication counters.
-func (w *World) Statistics() Stats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.stats
-}
+// Statistics returns a snapshot of the communication counters.
+func (w *World) Statistics() Stats { return w.stats.snapshot() }
 
 // ResetStatistics zeroes the counters.
-func (w *World) ResetStatistics() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.stats = Stats{}
-}
-
-func (w *World) countMsg(bytes int) {
-	w.mu.Lock()
-	w.stats.PointToPointMsgs++
-	w.stats.PointToPointBytes += int64(bytes)
-	w.mu.Unlock()
-}
+func (w *World) ResetStatistics() { w.stats.reset() }
 
 // Run executes fn on every rank concurrently and waits for all ranks to
-// finish.  It may be called repeatedly on the same world; rank-local state
-// should live in caller-owned per-rank slices.  A panic on any rank is
-// re-raised on the caller.
-func (w *World) Run(fn func(r *Rank)) {
+// finish, returning the joined errors of the ranks that failed (nil when
+// every rank succeeded).  A panic on a rank is recovered into that rank's
+// error.  It may be called repeatedly on the same world; rank-local state
+// should live in caller-owned per-rank slices.
+//
+// When a rank returns (or fails), it is marked gone: a peer still waiting on
+// a message from it receives a PeerDeadError instead of blocking forever —
+// the closed-world guarantee that turns protocol imbalances and rank deaths
+// into errors rather than deadlocks.
+func (w *World) Run(fn func(r *Rank) error) error {
+	w.fabric.reset()
 	var wg sync.WaitGroup
-	panics := make([]any, w.NRanks)
+	errs := make([]error, w.NRanks)
 	for i := 0; i < w.NRanks; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[id] = p
+					errs[id] = fmt.Errorf("comm: rank %d panicked: %v", id, p)
 				}
+				w.fabric.markDone(id, errs[id])
 			}()
-			fn(&Rank{world: w, ID: id})
+			errs[id] = fn(&Rank{ID: id, t: w.fabric.transports[id], stats: &w.stats})
 		}(i)
 	}
 	wg.Wait()
-	for id, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("comm: rank %d panicked: %v", id, p))
+	var failed []error
+	for id, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("rank %d: %w", id, err))
 		}
+	}
+	return errors.Join(failed...)
+}
+
+// --- In-process transport ------------------------------------------------
+
+// chanFabric is the shared-memory message fabric of a World: one mailbox per
+// rank plus the liveness table the closed-world detection reads.
+type chanFabric struct {
+	n          int
+	mailboxes  []*mailbox
+	transports []*chanTransport
+
+	mu   sync.Mutex
+	done []error // non-nil once the rank's fn returned; wraps its error
+}
+
+// errRankReturned marks a rank that finished its Run function normally.
+var errRankReturned = errors.New("rank function returned")
+
+func newChanFabric(n int) *chanFabric {
+	f := &chanFabric{n: n, done: make([]error, n)}
+	f.mailboxes = make([]*mailbox, n)
+	f.transports = make([]*chanTransport, n)
+	for i := 0; i < n; i++ {
+		f.mailboxes[i] = newMailbox(f.peerDown)
+		f.transports[i] = &chanTransport{fabric: f, self: i}
+	}
+	return f
+}
+
+// reset clears the liveness table for a fresh Run on the same world.
+func (f *chanFabric) reset() {
+	f.mu.Lock()
+	for i := range f.done {
+		f.done[i] = nil
+	}
+	f.mu.Unlock()
+}
+
+// markDone records that a rank's fn returned (err non-nil when it failed)
+// and wakes every blocked receive so closed-world checks re-evaluate.
+func (f *chanFabric) markDone(id int, err error) {
+	f.mu.Lock()
+	if err != nil {
+		f.done[id] = fmt.Errorf("rank failed: %w", err)
+	} else {
+		f.done[id] = errRankReturned
+	}
+	f.mu.Unlock()
+	for _, m := range f.mailboxes {
+		m.wake()
 	}
 }
 
-// Rank is the per-goroutine handle to the world.
+// peerDown implements the mailbox liveness view: src >= 0 asks about one
+// rank, src < 0 asks whether every rank is gone (the wildcard-receive
+// condition; the receiver itself is by construction not gone, so "all done
+// but one" can only be satisfied by the caller's own rank).
+func (f *chanFabric) peerDown(src int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if src >= 0 {
+		return f.done[src]
+	}
+	live := 0
+	for _, d := range f.done {
+		if d == nil {
+			live++
+		}
+	}
+	if live <= 1 {
+		return errors.New("every other rank returned")
+	}
+	return nil
+}
+
+// chanTransport is one rank's endpoint of a chanFabric.
+type chanTransport struct {
+	fabric *chanFabric
+	self   int
+}
+
+func (t *chanTransport) Self() int { return t.self }
+func (t *chanTransport) N() int    { return t.fabric.n }
+
+func (t *chanTransport) Send(dst, tag int, payload any) error {
+	if dst < 0 || dst >= t.fabric.n {
+		return fmt.Errorf("comm: send to invalid rank %d (world size %d)", dst, t.fabric.n)
+	}
+	if dst != t.self {
+		if reason := t.fabric.peerDown(dst); reason != nil {
+			return &PeerDeadError{Rank: dst, Reason: reason.Error()}
+		}
+	}
+	t.fabric.mailboxes[dst].put(envelope{src: t.self, tag: tag, payload: payload})
+	return nil
+}
+
+func (t *chanTransport) Recv(src int, match func(tag int) bool, deadline time.Time) (Message, error) {
+	e, err := t.fabric.mailboxes[t.self].get(t.self, src, match, deadline)
+	if err != nil {
+		return Message{}, err
+	}
+	return Message{Src: e.src, Tag: e.tag, Payload: e.payload}, nil
+}
+
+func (t *chanTransport) Close() error { return nil }
+
+// --- Rank ----------------------------------------------------------------
+
+// Rank is the per-goroutine (or per-process) handle to a communicator: one
+// Transport endpoint plus the collective protocol state.  A Rank's methods
+// must be called from one goroutine at a time, except Send, which service
+// goroutines (the ABM handler) may call concurrently.
 type Rank struct {
-	world *World
-	ID    int
+	ID int
+
+	t     Transport
+	stats *statsSink
+
+	// collSeq sequences the collectives: ranks call them in lockstep (the
+	// SPMD contract), so the per-call counter agrees across ranks and keys
+	// the internal tag space, preventing crosstalk between consecutive
+	// collectives even when ranks race ahead.
+	collSeq int64
+}
+
+// Join wraps an externally constructed Transport (for example a TCP
+// transport from JoinTCP's options, or a test double) as a Rank with its own
+// statistics sink.
+func Join(t Transport) *Rank {
+	return &Rank{ID: t.Self(), t: t, stats: &statsSink{}}
 }
 
 // N returns the number of ranks in the world.
-func (r *Rank) N() int { return r.world.NRanks }
+func (r *Rank) N() int { return r.t.N() }
 
-// World returns the underlying world.
-func (r *Rank) World() *World { return r.world }
+// Transport returns the rank's transport endpoint.
+func (r *Rank) Transport() Transport { return r.t }
 
-// Barrier blocks until all ranks reach it.
-func (r *Rank) Barrier() { r.world.barrier.await() }
+// Statistics returns a snapshot of this rank's communication counters (for
+// an in-process World the sink is shared by all its ranks).
+func (r *Rank) Statistics() Stats { return r.stats.snapshot() }
 
-// --- Point-to-point ----------------------------------------------------
+// Close closes the underlying transport.  In-process ranks need no close;
+// process-spanning ranks must close before exit.
+func (r *Rank) Close() error { return r.t.Close() }
 
-type envelope struct {
-	src, tag int
-	payload  any
-}
-
-// mailbox delivers envelopes to a rank with (src, tag) matching.
-type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []envelope
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-func (m *mailbox) put(e envelope) {
-	m.mu.Lock()
-	m.pending = append(m.pending, e)
-	m.cond.Broadcast()
-	m.mu.Unlock()
-}
-
-func (m *mailbox) get(src, tag int) envelope {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		for i, e := range m.pending {
-			if (src < 0 || e.src == src) && (tag < 0 || e.tag == tag) {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				return e
-			}
-		}
-		m.cond.Wait()
+// Send delivers payload to rank dst with the given tag.  It does not block
+// on the receiver (buffered semantics) and fails when dst is known dead.
+func (r *Rank) Send(dst, tag int, payload any) error {
+	if tag < 0 || tag >= internalTagBase {
+		return fmt.Errorf("comm: application tags must be in [0, 2^40); got %d", tag)
 	}
-}
-
-// Send delivers payload to rank dst with the given tag.  It does not block on
-// the receiver (buffered semantics).
-func (r *Rank) Send(dst, tag int, payload any) {
-	r.world.countMsg(payloadSize(payload))
-	r.world.mailboxes[dst].put(envelope{src: r.ID, tag: tag, payload: payload})
+	r.stats.countMsg(payloadSize(payload))
+	return r.t.Send(dst, tag, payload)
 }
 
 // Recv blocks until a message from src (or any source if src < 0) with the
-// given tag (any tag if tag < 0) arrives, and returns its payload and source.
-func (r *Rank) Recv(src, tag int) (any, int) {
-	e := r.world.mailboxes[r.ID].get(src, tag)
-	return e.payload, e.src
+// given tag (any application tag if tag < 0) arrives, and returns its
+// payload and source.  It fails instead of blocking forever when the
+// awaited peer is gone or the transport's default deadline passes.
+func (r *Rank) Recv(src, tag int) (any, int, error) {
+	return r.RecvDeadline(src, tag, 0)
 }
 
+// RecvDeadline is Recv with an explicit timeout (0 = the transport's
+// default).
+func (r *Rank) RecvDeadline(src, tag int, timeout time.Duration) (any, int, error) {
+	var match func(int) bool
+	if tag >= 0 {
+		match = matchExact(tag)
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	msg, err := r.t.Recv(src, match, deadline)
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg.Payload, msg.Src, nil
+}
+
+// payloadSize estimates the byte size of a payload for the statistics.
 func payloadSize(p any) int {
 	switch v := p.(type) {
 	case []byte:
@@ -197,306 +323,4 @@ func payloadSize(p any) int {
 	default:
 		return 64
 	}
-}
-
-// --- Collectives ---------------------------------------------------------
-
-// Broadcast distributes root's value to all ranks and returns it.
-func (r *Rank) Broadcast(root int, value any) any {
-	w := r.world
-	if r.ID == root {
-		for i := 0; i < w.NRanks; i++ {
-			w.stage[root][i] = value
-		}
-	}
-	r.Barrier()
-	out := w.stage[root][r.ID]
-	r.Barrier()
-	return out
-}
-
-// AllreduceFloat64 sums (or reduces with op) one float64 per rank and returns
-// the result on every rank.  op is one of "sum", "min", "max".
-func (r *Rank) AllreduceFloat64(v float64, op string) float64 {
-	w := r.world
-	w.reduceBuf[r.ID] = v
-	r.Barrier()
-	var out float64
-	switch op {
-	case "min":
-		out = w.reduceBuf[0].(float64)
-		for i := 1; i < w.NRanks; i++ {
-			if x := w.reduceBuf[i].(float64); x < out {
-				out = x
-			}
-		}
-	case "max":
-		out = w.reduceBuf[0].(float64)
-		for i := 1; i < w.NRanks; i++ {
-			if x := w.reduceBuf[i].(float64); x > out {
-				out = x
-			}
-		}
-	default:
-		for i := 0; i < w.NRanks; i++ {
-			out += w.reduceBuf[i].(float64)
-		}
-	}
-	r.Barrier()
-	return out
-}
-
-// AllreduceInt64 sums one int64 per rank across the world.
-func (r *Rank) AllreduceInt64(v int64) int64 {
-	w := r.world
-	w.reduceBuf[r.ID] = v
-	r.Barrier()
-	var out int64
-	for i := 0; i < w.NRanks; i++ {
-		out += w.reduceBuf[i].(int64)
-	}
-	r.Barrier()
-	return out
-}
-
-// Allgather collects one value per rank into a slice indexed by rank,
-// returned on every rank.  The caller must not mutate the result.
-func (r *Rank) Allgather(v any) []any {
-	w := r.world
-	w.reduceBuf[r.ID] = v
-	r.Barrier()
-	out := make([]any, w.NRanks)
-	copy(out, w.reduceBuf)
-	r.Barrier()
-	return out
-}
-
-// AllgatherUint64 gathers variable-length uint64 slices from every rank and
-// returns the concatenation (in rank order) on every rank.
-func (r *Rank) AllgatherUint64(v []uint64) []uint64 {
-	parts := r.Allgather(v)
-	var out []uint64
-	for _, p := range parts {
-		out = append(out, p.([]uint64)...)
-	}
-	return out
-}
-
-// AlltoallAlgorithm selects the data-exchange implementation.
-type AlltoallAlgorithm int
-
-const (
-	// AlltoallDirect stages every block in shared memory (the idealized
-	// library implementation).
-	AlltoallDirect AlltoallAlgorithm = iota
-	// AlltoallPairwise loops over all pairs of processes exchanging data,
-	// the "trivial implementation" that outperformed the system MPI at
-	// 32k+ processes in the paper.
-	AlltoallPairwise
-	// AlltoallHierarchical relays messages through one leader per node
-	// group, the rewrite that fixed the buffer blow-up in OpenMPI.
-	AlltoallHierarchical
-)
-
-// AlltoallvBytes exchanges send[dst] with every destination and returns
-// recv[src].  All ranks must call it with the same algorithm.
-func (r *Rank) AlltoallvBytes(send [][]byte, algo AlltoallAlgorithm) [][]byte {
-	if len(send) != r.N() {
-		panic("comm: Alltoallv send length must equal world size")
-	}
-	w := r.world
-	w.mu.Lock()
-	w.stats.CollectiveCalls++
-	w.mu.Unlock()
-	switch algo {
-	case AlltoallPairwise:
-		return r.alltoallPairwise(send)
-	case AlltoallHierarchical:
-		return r.alltoallHierarchical(send)
-	default:
-		return r.alltoallDirect(send)
-	}
-}
-
-func (r *Rank) alltoallDirect(send [][]byte) [][]byte {
-	w := r.world
-	for dst := 0; dst < w.NRanks; dst++ {
-		w.stage[r.ID][dst] = send[dst]
-	}
-	r.Barrier()
-	recv := make([][]byte, w.NRanks)
-	for src := 0; src < w.NRanks; src++ {
-		b, _ := w.stage[src][r.ID].([]byte)
-		recv[src] = b
-	}
-	r.Barrier()
-	return recv
-}
-
-const tagAlltoall = 1000
-
-func (r *Rank) alltoallPairwise(send [][]byte) [][]byte {
-	n := r.N()
-	recv := make([][]byte, n)
-	recv[r.ID] = send[r.ID]
-	// Loop over all pairs: at step s exchange with partner = rank XOR s for
-	// power-of-two sizes, otherwise (rank + s) mod n with a matched recv.
-	for s := 1; s < n; s++ {
-		dst := (r.ID + s) % n
-		src := (r.ID - s + n) % n
-		r.Send(dst, tagAlltoall+s, send[dst])
-		payload, _ := r.Recv(src, tagAlltoall+s)
-		recv[src], _ = payload.([]byte)
-	}
-	r.Barrier()
-	return recv
-}
-
-// alltoallHierarchical relays all traffic through group leaders: ranks are
-// grouped into "nodes" of size g; only leaders exchange inter-node traffic.
-func (r *Rank) alltoallHierarchical(send [][]byte) [][]byte {
-	n := r.N()
-	g := nodeGroupSize(n)
-	leader := (r.ID / g) * g
-	nGroups := (n + g - 1) / g
-
-	const (
-		tagUp    = 2000
-		tagInter = 3000
-		tagDown  = 4000
-	)
-
-	if r.ID != leader {
-		// Send all outgoing blocks to the leader, then receive all incoming.
-		for dst := 0; dst < n; dst++ {
-			r.Send(leader, tagUp+dst, send[dst])
-		}
-		recv := make([][]byte, n)
-		for src := 0; src < n; src++ {
-			p, _ := r.Recv(leader, tagDown+src)
-			recv[src], _ = p.([]byte)
-		}
-		r.Barrier()
-		return recv
-	}
-
-	// Leader: gather blocks from group members (including itself).
-	groupHi := leader + g
-	if groupHi > n {
-		groupHi = n
-	}
-	// blocks[srcLocal][dst]
-	blocks := make(map[int][][]byte)
-	blocks[r.ID] = send
-	for m := leader + 1; m < groupHi; m++ {
-		mb := make([][]byte, n)
-		for dst := 0; dst < n; dst++ {
-			p, _ := r.Recv(m, tagUp+dst)
-			mb[dst], _ = p.([]byte)
-		}
-		blocks[m] = mb
-	}
-	// Exchange bundles between leaders.
-	type bundle struct {
-		Src  []int
-		Dst  []int
-		Data [][]byte
-	}
-	for gi := 0; gi < nGroups; gi++ {
-		otherLeader := gi * g
-		if otherLeader == leader {
-			continue
-		}
-		otherHi := otherLeader + g
-		if otherHi > n {
-			otherHi = n
-		}
-		var b bundle
-		for src := leader; src < groupHi; src++ {
-			for dst := otherLeader; dst < otherHi; dst++ {
-				b.Src = append(b.Src, src)
-				b.Dst = append(b.Dst, dst)
-				b.Data = append(b.Data, blocks[src][dst])
-			}
-		}
-		r.Send(otherLeader, tagInter+leader, b)
-	}
-	// Receive bundles from other leaders and deliver to members.
-	incoming := make(map[int]map[int][]byte) // dst -> src -> data
-	for dst := leader; dst < groupHi; dst++ {
-		incoming[dst] = make(map[int][]byte)
-	}
-	// Intra-group traffic.
-	for src := leader; src < groupHi; src++ {
-		for dst := leader; dst < groupHi; dst++ {
-			incoming[dst][src] = blocks[src][dst]
-		}
-	}
-	for gi := 0; gi < nGroups; gi++ {
-		otherLeader := gi * g
-		if otherLeader == leader {
-			continue
-		}
-		p, _ := r.Recv(otherLeader, tagInter+otherLeader)
-		b := p.(bundle)
-		for i := range b.Src {
-			incoming[b.Dst[i]][b.Src[i]] = b.Data[i]
-		}
-	}
-	// Deliver to members.
-	for m := leader + 1; m < groupHi; m++ {
-		for src := 0; src < n; src++ {
-			r.Send(m, tagDown+src, incoming[m][src])
-		}
-	}
-	recv := make([][]byte, n)
-	for src := 0; src < n; src++ {
-		recv[src] = incoming[r.ID][src]
-	}
-	r.Barrier()
-	return recv
-}
-
-// nodeGroupSize picks the "node" size for the hierarchical relay.
-func nodeGroupSize(n int) int {
-	g := 1
-	for g*g < n {
-		g++
-	}
-	if g < 1 {
-		g = 1
-	}
-	return g
-}
-
-// --- Barrier -------------------------------------------------------------
-
-type reusableBarrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	phase int
-}
-
-func newReusableBarrier(n int) *reusableBarrier {
-	b := &reusableBarrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *reusableBarrier) await() {
-	b.mu.Lock()
-	phase := b.phase
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.phase++
-		b.cond.Broadcast()
-	} else {
-		for phase == b.phase {
-			b.cond.Wait()
-		}
-	}
-	b.mu.Unlock()
 }

@@ -1,0 +1,112 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The TCP transport moves length-prefixed, checksummed frames:
+//
+//	magic   uint16  frameMagic — stream-alignment sentinel
+//	kind    uint8   data | ack | heartbeat | hello
+//	src     uint32  sending rank
+//	seq     uint64  per-peer reliability sequence (0 for unsequenced kinds)
+//	tag     int64   message tag (data frames)
+//	plen    uint32  payload length
+//	payload [plen]  codec-encoded message body
+//	crc     uint32  IEEE CRC32 over header+payload
+//
+// A frame whose checksum fails but whose header parsed cleanly is dropped —
+// the stream is still aligned, and the reliability layer retransmits the
+// payload.  A bad magic or an implausible length means the stream itself has
+// desynchronized, which is unrecoverable for that connection.
+
+const (
+	frameMagic      = uint16(0x2B07)
+	frameHeaderSize = 2 + 1 + 4 + 8 + 8 + 4
+	// maxFramePayload caps plen, the same implausible-size rejection the
+	// cell serialization uses: large enough for any particle exchange block,
+	// small enough to fail fast on a desynchronized stream.
+	maxFramePayload = 1 << 30
+)
+
+const (
+	kindData      = uint8(1)
+	kindAck       = uint8(2)
+	kindHeartbeat = uint8(3)
+	kindHello     = uint8(4)
+)
+
+// frame is one decoded wire frame.
+type frame struct {
+	kind    uint8
+	src     uint32
+	seq     uint64
+	tag     int64
+	payload []byte
+}
+
+// errFrameChecksum marks a frame dropped for a checksum mismatch.  The
+// connection remains usable: the header framed the payload correctly, so the
+// reader is still byte-aligned with the stream.
+var errFrameChecksum = errors.New("comm: frame checksum mismatch")
+
+// appendFrame encodes f into buf (wire format above) and returns the
+// extended slice.
+func appendFrame(buf []byte, f frame) []byte {
+	start := len(buf)
+	buf = binary.LittleEndian.AppendUint16(buf, frameMagic)
+	buf = append(buf, f.kind)
+	buf = binary.LittleEndian.AppendUint32(buf, f.src)
+	buf = binary.LittleEndian.AppendUint64(buf, f.seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(f.tag))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.payload)))
+	buf = append(buf, f.payload...)
+	crc := crc32.ChecksumIEEE(buf[start:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// readFrame reads and validates one frame.  An errFrameChecksum return is
+// recoverable (skip the frame, keep reading); every other error is a
+// connection-fatal desync or I/O failure.
+func readFrame(r io.Reader, hdr []byte) (frame, error) {
+	if len(hdr) < frameHeaderSize {
+		hdr = make([]byte, frameHeaderSize)
+	}
+	hdr = hdr[:frameHeaderSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return frame{}, err
+	}
+	if magic := binary.LittleEndian.Uint16(hdr[0:]); magic != frameMagic {
+		return frame{}, fmt.Errorf("comm: bad frame magic %#04x: stream desynchronized", magic)
+	}
+	f := frame{
+		kind: hdr[2],
+		src:  binary.LittleEndian.Uint32(hdr[3:]),
+		seq:  binary.LittleEndian.Uint64(hdr[7:]),
+		tag:  int64(binary.LittleEndian.Uint64(hdr[15:])),
+	}
+	if f.kind < kindData || f.kind > kindHello {
+		return frame{}, fmt.Errorf("comm: unknown frame kind %d", f.kind)
+	}
+	plen := binary.LittleEndian.Uint32(hdr[23:])
+	if plen > maxFramePayload {
+		return frame{}, fmt.Errorf("comm: implausible frame payload length %d", plen)
+	}
+	body := make([]byte, int(plen)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, fmt.Errorf("comm: short frame body: %w", err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(body[plen:])
+	h := crc32.NewIEEE()
+	h.Write(hdr)
+	h.Write(body[:plen])
+	if h.Sum32() != wantCRC {
+		return frame{}, errFrameChecksum
+	}
+	f.payload = body[:plen]
+	return f, nil
+}

@@ -1,0 +1,171 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []frame{
+		{kind: kindData, src: 3, seq: 42, tag: 7, payload: []byte("hello")},
+		{kind: kindAck, src: 0, seq: 1},
+		{kind: kindHeartbeat, src: 9},
+		{kind: kindHello, src: 2},
+		{kind: kindData, src: 1, seq: 2, tag: internalTagBase + 12345, payload: make([]byte, 4096)},
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = appendFrame(wire, f)
+	}
+	rd := bytes.NewReader(wire)
+	for i, want := range frames {
+		got, err := readFrame(rd, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.kind != want.kind || got.src != want.src || got.seq != want.seq || got.tag != want.tag {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.payload, want.payload) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	wire := appendFrame(nil, frame{kind: kindData, src: 1, seq: 5, tag: 3, payload: []byte("payload")})
+
+	// Payload corruption: checksum failure, recoverable.
+	bad := append([]byte(nil), wire...)
+	bad[frameHeaderSize+2] ^= 0xFF
+	if _, err := readFrame(bytes.NewReader(bad), nil); err != errFrameChecksum {
+		t.Errorf("payload corruption: got %v, want errFrameChecksum", err)
+	}
+
+	// Magic corruption: fatal desync.
+	bad = append([]byte(nil), wire...)
+	bad[0] ^= 0xFF
+	if _, err := readFrame(bytes.NewReader(bad), nil); err == nil || err == errFrameChecksum {
+		t.Errorf("magic corruption: got %v, want fatal error", err)
+	}
+
+	// Implausible length prefix: fatal, no huge allocation.
+	bad = append([]byte(nil), wire...)
+	binary.LittleEndian.PutUint32(bad[23:], math.MaxUint32)
+	if _, err := readFrame(bytes.NewReader(bad), nil); err == nil || err == errFrameChecksum {
+		t.Errorf("huge length: got %v, want fatal error", err)
+	}
+
+	// Truncated stream: short read error.
+	if _, err := readFrame(bytes.NewReader(wire[:len(wire)-3]), nil); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	values := []any{
+		nil,
+		[]byte{1, 2, 3},
+		[]byte{},
+		[]uint64{7, 8, 9},
+		[]float64{1.5, -2.25, math.Inf(1)},
+		[]int{-1, 0, 42},
+		3.14159,
+		int64(-77),
+		12345,
+		uint64(1 << 60),
+		"a string payload",
+		true,
+		false,
+		abmRequest{src: 2, id: 99, keys: []uint64{5, 6}},
+		abmReply{id: 99, data: [][]byte{[]byte("a"), nil, []byte("ccc")}},
+		bundle{Src: []int{0, 1}, Dst: []int{2, 3}, Data: [][]byte{[]byte("x"), nil}},
+		[]any{[]byte("nested"), 5, nil, []uint64{1}},
+	}
+	for i, v := range values {
+		buf, err := encodePayload(nil, v)
+		if err != nil {
+			t.Fatalf("value %d (%T): encode: %v", i, v, err)
+		}
+		got, rest, err := decodePayload(buf)
+		if err != nil {
+			t.Fatalf("value %d (%T): decode: %v", i, v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("value %d (%T): %d trailing bytes", i, v, len(rest))
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("value %d: got %#v want %#v", i, got, v)
+		}
+	}
+	// Unencodable type fails loudly.
+	if _, err := encodePayload(nil, struct{ X int }{1}); err == nil {
+		t.Error("arbitrary struct encoded without error")
+	}
+}
+
+// FuzzReadFrame hammers the frame decoder with malformed input: arbitrary
+// bytes, truncations, and flipped length prefixes must never panic or
+// over-allocate — they fail with an error (or errFrameChecksum).
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendFrame(nil, frame{kind: kindData, src: 1, seq: 1, tag: 5, payload: []byte("seed")}))
+	f.Add(appendFrame(nil, frame{kind: kindHeartbeat, src: 2}))
+	long := appendFrame(nil, frame{kind: kindData, src: 0, seq: 9, tag: internalTagBase, payload: make([]byte, 512)})
+	f.Add(long)
+	f.Add(long[:17])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := bytes.NewReader(data)
+		for {
+			g, err := readFrame(rd, nil)
+			if err != nil {
+				if err == errFrameChecksum {
+					continue
+				}
+				return
+			}
+			// A frame that decodes must re-encode to a parseable frame.
+			if len(g.payload) > maxFramePayload {
+				t.Fatalf("oversized payload accepted: %d", len(g.payload))
+			}
+			reenc := appendFrame(nil, g)
+			if _, err := readFrame(bytes.NewReader(reenc), nil); err != nil {
+				t.Fatalf("re-encoded frame rejected: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzDecodePayload does the same for the payload codec.
+func FuzzDecodePayload(f *testing.F) {
+	seedValues := []any{
+		[]byte("bytes"), []uint64{1, 2}, []float64{3.5}, "str", 7, int64(-1),
+		abmRequest{src: 1, id: 2, keys: []uint64{3}},
+		abmReply{id: 4, data: [][]byte{[]byte("d")}},
+		bundle{Src: []int{0}, Dst: []int{1}, Data: [][]byte{[]byte("b")}},
+		[]any{1, "two"},
+	}
+	for _, v := range seedValues {
+		buf, err := encodePayload(nil, v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := decodePayload(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatal("decode returned more input than given")
+		}
+		// A decoded value must re-encode (closed type set).
+		if _, err := encodePayload(nil, v); err != nil {
+			t.Fatalf("decoded value %T not re-encodable: %v", v, err)
+		}
+	})
+}

@@ -46,6 +46,15 @@ type DistributedResult struct {
 	PerRankTraversal []time.Duration
 }
 
+// RankOutcome is one rank's share of a distributed force calculation: the
+// stage timings, interaction counters, and traversal wall-clock the
+// aggregation of Table 2 needs.
+type RankOutcome struct {
+	Timings   Timings
+	Counters  traverse.Counters
+	Traversal time.Duration
+}
+
 // DistributedStep performs one complete distributed force calculation for the
 // particles in set: domain decomposition (parallel sample sort and particle
 // exchange), local tree builds, branch exchange, shared upper-tree assembly,
@@ -62,19 +71,6 @@ func DistributedStep(set *particle.Set, cfg DistributedConfig) (*DistributedResu
 	}
 	world := comm.NewWorld(cfg.NRanks)
 
-	var box vec.Box
-	if cfg.Tree.Periodic {
-		box = vec.CubeBox(vec.V3{}, cfg.Tree.BoxSize)
-	} else {
-		box = vec.BoundingBox(set.Pos).Cubed(1e-3)
-	}
-	totalMass := set.TotalMass()
-	rhoBar := 0.0
-	if cfg.Tree.BackgroundSubtraction {
-		rhoBar = totalMass / box.Volume()
-	}
-	accTol := cfg.Tree.ErrTol * totalMass / (box.MaxSide() / 2 * box.MaxSide() / 2)
-
 	// Initial ownership: contiguous chunks of the input ordering.
 	perRank := make([]*particle.Set, cfg.NRanks)
 	chunk := (set.Len() + cfg.NRanks - 1) / cfg.NRanks
@@ -89,153 +85,37 @@ func DistributedStep(set *particle.Set, cfg DistributedConfig) (*DistributedResu
 		}
 	}
 
-	type rankOutcome struct {
-		timings   Timings
-		counters  traverse.Counters
-		traversal time.Duration
-	}
-	outcomes := make([]rankOutcome, cfg.NRanks)
+	outcomes := make([]*RankOutcome, cfg.NRanks)
 	start := time.Now()
 
-	world.Run(func(r *comm.Rank) {
-		my := perRank[r.ID]
-		out := &outcomes[r.ID]
-
-		// --- Domain decomposition -------------------------------------
-		t0 := time.Now()
-		decomp := domain.Decompose(r, my, box, domain.Options{
-			Curve:    cfg.Curve,
-			Alltoall: cfg.Alltoall,
-			UseWork:  cfg.UseWorkWeights,
-		}, nil)
-		out.timings.DomainDecomposition = time.Since(t0)
-
-		// --- Local tree construction -----------------------------------
-		t0 = time.Now()
-		keyLo := uint64(1) << 63 // smallest body key (placeholder bit)
-		keyHi := ^uint64(0)
-		if r.ID > 0 {
-			keyLo = decomp.Splitters[r.ID-1]
-		}
-		if r.ID < r.N()-1 {
-			keyHi = decomp.Splitters[r.ID]
-		}
-		// Ranks already run on their own goroutines, so split the build
-		// worker budget across them rather than oversubscribing.
-		buildWorkers := cfg.Tree.Workers / cfg.NRanks
-		if buildWorkers < 1 {
-			buildWorkers = 1
-		}
-		dt, err := tree.NewDistributed(my.Pos, my.Mass, box, tree.Options{
-			Order:    cfg.Tree.Order,
-			LeafSize: cfg.Tree.LeafSize,
-			RhoBar:   rhoBar,
-			Rank:     r.ID,
-			Workers:  buildWorkers,
-		}, keyLo, keyHi)
+	err := world.Run(func(r *comm.Rank) error {
+		out, err := DistributedRankForces(r, perRank[r.ID], cfg)
 		if err != nil {
-			panic(err)
+			return err
 		}
-		localBuild := time.Since(t0)
-
-		// --- Branch exchange and shared upper tree ---------------------
-		t0 = time.Now()
-		exchangeBranches(r, dt, cfg.BranchExchange)
-		dt.BuildUpper()
-		out.timings.Communication += time.Since(t0)
-		out.timings.TreeBuild = localBuild + time.Since(t0)
-
-		// --- Traversal with ABM request/reply ---------------------------
-		// The ABM handler runs concurrently with this rank's own traversal,
-		// which grows the tree's cell table with fetched remote cells.  It
-		// therefore serves requests from an immutable snapshot of the
-		// *local* cells built here, never touching the live hash table.
-		localChildren := make(map[uint64][]*tree.Cell)
-		for _, c := range dt.Cell {
-			if c.Remote || c.Owner != r.ID {
-				continue
-			}
-			var kids []*tree.Cell
-			for oct := 0; oct < 8; oct++ {
-				if c.ChildIdx[oct] != tree.NoChild {
-					kids = append(kids, dt.Cell[c.ChildIdx[oct]])
-				}
-			}
-			localChildren[uint64(c.Key)] = kids
-		}
-		abm := r.NewABM(func(src int, reqKeys []uint64) [][]byte {
-			replies := make([][]byte, len(reqKeys))
-			for i, k := range reqKeys {
-				replies[i] = dt.EncodeCells(localChildren[k])
-			}
-			return replies
-		})
-		var commWait time.Duration
-		dt.FetchChildren = func(c *tree.Cell) []tree.Cell {
-			tw := time.Now()
-			reply := abm.RequestSync(c.Owner, []uint64{uint64(c.Key)})
-			commWait += time.Since(tw)
-			if len(reply) == 0 {
-				return nil
-			}
-			cells, err := tree.DecodeCells(reply[0])
-			if err != nil {
-				panic(err)
-			}
-			return cells
-		}
-
-		walkCfg := traverse.Config{
-			MAC:          cfg.Tree.MAC,
-			Theta:        cfg.Tree.Theta,
-			AccTol:       accTol,
-			Kernel:       cfg.Tree.Kernel,
-			Eps:          cfg.Tree.Eps,
-			G:            cfg.Tree.G,
-			Periodic:     cfg.Tree.Periodic,
-			BoxSize:      cfg.Tree.BoxSize,
-			WS:           cfg.Tree.WS,
-			LatticeOrder: cfg.Tree.LatticeOrder,
-		}
-		t0 = time.Now()
-		w := traverse.NewWalker(dt.Tree, walkCfg)
-		w.WorkOut = make([]float64, len(dt.Tree.Pos))
-		acc, pot, counters := w.ForcesForAll(1)
-		out.traversal = time.Since(t0)
-		out.timings.TreeTraversal = out.traversal - commWait
-		out.timings.Communication += commWait
-		out.timings.ForceEvaluation = out.timings.TreeTraversal
-		out.counters = counters
-
-		// Scatter the results back into the rank's particle set and record
-		// each particle's actual interaction count for the next
-		// decomposition (the splitters then balance real work, not the
-		// rank-averaged estimate used previously).
-		for i, orig := range dt.SortIndex {
-			my.Acc[orig] = acc[i]
-			my.Pot[orig] = pot[i]
-			my.Work[orig] = w.WorkOut[i]
-		}
-
-		abm.Close()
+		outcomes[r.ID] = out
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Aggregate.
 	res := &DistributedResult{NRanks: cfg.NRanks, Comm: world.Statistics()}
 	res.ParticlesOut = particle.New(set.Len())
 	var maxTrav, sumTrav time.Duration
 	for r := 0; r < cfg.NRanks; r++ {
-		res.Counters.Add(outcomes[r].counters)
-		res.PerRankTraversal = append(res.PerRankTraversal, outcomes[r].traversal)
-		if outcomes[r].traversal > maxTrav {
-			maxTrav = outcomes[r].traversal
+		res.Counters.Add(outcomes[r].Counters)
+		res.PerRankTraversal = append(res.PerRankTraversal, outcomes[r].Traversal)
+		if outcomes[r].Traversal > maxTrav {
+			maxTrav = outcomes[r].Traversal
 		}
-		sumTrav += outcomes[r].traversal
-		res.Timings.DomainDecomposition = maxDuration(res.Timings.DomainDecomposition, outcomes[r].timings.DomainDecomposition)
-		res.Timings.TreeBuild = maxDuration(res.Timings.TreeBuild, outcomes[r].timings.TreeBuild)
-		res.Timings.TreeTraversal = maxDuration(res.Timings.TreeTraversal, outcomes[r].timings.TreeTraversal)
-		res.Timings.Communication = maxDuration(res.Timings.Communication, outcomes[r].timings.Communication)
-		res.Timings.ForceEvaluation = maxDuration(res.Timings.ForceEvaluation, outcomes[r].timings.ForceEvaluation)
+		sumTrav += outcomes[r].Traversal
+		res.Timings.DomainDecomposition = maxDuration(res.Timings.DomainDecomposition, outcomes[r].Timings.DomainDecomposition)
+		res.Timings.TreeBuild = maxDuration(res.Timings.TreeBuild, outcomes[r].Timings.TreeBuild)
+		res.Timings.TreeTraversal = maxDuration(res.Timings.TreeTraversal, outcomes[r].Timings.TreeTraversal)
+		res.Timings.Communication = maxDuration(res.Timings.Communication, outcomes[r].Timings.Communication)
+		res.Timings.ForceEvaluation = maxDuration(res.Timings.ForceEvaluation, outcomes[r].Timings.ForceEvaluation)
 		for i := 0; i < perRank[r].Len(); i++ {
 			res.ParticlesOut.AppendFrom(perRank[r], i)
 		}
@@ -251,8 +131,214 @@ func DistributedStep(set *particle.Set, cfg DistributedConfig) (*DistributedResu
 	return res, nil
 }
 
+// fetchFailure carries a FetchChildren error out of the traversal (whose
+// callback signature has no error path) to the recover in
+// DistributedRankForces.
+type fetchFailure struct{ err error }
+
+// DistributedRankForces is one rank's share of DistributedStep: domain
+// decomposition, local tree build, branch exchange, and the ABM dual
+// traversal, all against the rank's own particle set (mutated in place: the
+// rank ends up owning a contiguous key range with Acc/Pot/Work filled in).
+// It is the body both the in-process world and the multi-process TCP workers
+// run — the same code on both transports is what makes an N-process run
+// bit-identical to the in-process one.
+//
+// Global quantities (total mass, bounding box) are computed by rank-ordered
+// collective reductions, so no process ever needs the full particle set.
+func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig) (out *RankOutcome, err error) {
+	cfg.Tree.defaults()
+	out = &RankOutcome{}
+
+	// --- Global scalars -------------------------------------------------
+	var box vec.Box
+	if cfg.Tree.Periodic {
+		box = vec.CubeBox(vec.V3{}, cfg.Tree.BoxSize)
+	} else {
+		local := vec.BoundingBox(my.Pos)
+		for axis := 0; axis < 3; axis++ {
+			lo, rerr := r.AllreduceFloat64(local.Lo[axis], "min")
+			if rerr != nil {
+				return nil, fmt.Errorf("core: bounding box reduce: %w", rerr)
+			}
+			hi, rerr := r.AllreduceFloat64(local.Hi[axis], "max")
+			if rerr != nil {
+				return nil, fmt.Errorf("core: bounding box reduce: %w", rerr)
+			}
+			local.Lo[axis], local.Hi[axis] = lo, hi
+		}
+		box = local.Cubed(1e-3)
+	}
+	totalMass, err := r.AllreduceFloat64(my.TotalMass(), "sum")
+	if err != nil {
+		return nil, fmt.Errorf("core: total mass reduce: %w", err)
+	}
+	rhoBar := 0.0
+	if cfg.Tree.BackgroundSubtraction {
+		rhoBar = totalMass / box.Volume()
+	}
+	accTol := cfg.Tree.ErrTol * totalMass / (box.MaxSide() / 2 * box.MaxSide() / 2)
+
+	// --- Domain decomposition -------------------------------------------
+	t0 := time.Now()
+	decomp, err := domain.Decompose(r, my, box, domain.Options{
+		Curve:    cfg.Curve,
+		Alltoall: cfg.Alltoall,
+		UseWork:  cfg.UseWorkWeights,
+	}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: domain decomposition: %w", err)
+	}
+	out.Timings.DomainDecomposition = time.Since(t0)
+
+	// --- Local tree construction -----------------------------------------
+	t0 = time.Now()
+	keyLo := uint64(1) << 63 // smallest body key (placeholder bit)
+	keyHi := ^uint64(0)
+	if r.ID > 0 {
+		keyLo = decomp.Splitters[r.ID-1]
+	}
+	if r.ID < r.N()-1 {
+		keyHi = decomp.Splitters[r.ID]
+	}
+	// The worker budget is a per-world total: in-process ranks run on their
+	// own goroutines, so split it rather than oversubscribing.  (Worker
+	// count never changes result bits — pinned since the build/traversal
+	// parallelism PRs — so this is purely a scheduling choice; multi-process
+	// deployments pass a per-process budget of Workers*N.)
+	buildWorkers := cfg.Tree.Workers / r.N()
+	if buildWorkers < 1 {
+		buildWorkers = 1
+	}
+	dt, err := tree.NewDistributed(my.Pos, my.Mass, box, tree.Options{
+		Order:    cfg.Tree.Order,
+		LeafSize: cfg.Tree.LeafSize,
+		RhoBar:   rhoBar,
+		Rank:     r.ID,
+		Workers:  buildWorkers,
+	}, keyLo, keyHi)
+	if err != nil {
+		return nil, fmt.Errorf("core: local tree build: %w", err)
+	}
+	localBuild := time.Since(t0)
+
+	// --- Branch exchange and shared upper tree ---------------------------
+	t0 = time.Now()
+	if err := exchangeBranches(r, dt, cfg.BranchExchange); err != nil {
+		return nil, fmt.Errorf("core: branch exchange: %w", err)
+	}
+	dt.BuildUpper()
+	out.Timings.Communication += time.Since(t0)
+	out.Timings.TreeBuild = localBuild + time.Since(t0)
+
+	// --- Traversal with ABM request/reply ---------------------------------
+	// The ABM handler runs concurrently with this rank's own traversal,
+	// which grows the tree's cell table with fetched remote cells.  It
+	// therefore serves requests from an immutable snapshot of the *local*
+	// cells built here, never touching the live hash table.
+	localChildren := make(map[uint64][]*tree.Cell)
+	for _, c := range dt.Cell {
+		if c.Remote || c.Owner != r.ID {
+			continue
+		}
+		var kids []*tree.Cell
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildIdx[oct] != tree.NoChild {
+				kids = append(kids, dt.Cell[c.ChildIdx[oct]])
+			}
+		}
+		localChildren[uint64(c.Key)] = kids
+	}
+	abm, err := r.NewABM(func(src int, reqKeys []uint64) [][]byte {
+		replies := make([][]byte, len(reqKeys))
+		for i, k := range reqKeys {
+			replies[i] = dt.EncodeCells(localChildren[k])
+		}
+		return replies
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: abm open: %w", err)
+	}
+	var commWait time.Duration
+	dt.FetchChildren = func(c *tree.Cell) []tree.Cell {
+		tw := time.Now()
+		reply, rerr := abm.RequestSync(c.Owner, []uint64{uint64(c.Key)})
+		commWait += time.Since(tw)
+		if rerr != nil {
+			panic(fetchFailure{fmt.Errorf("fetch children of cell %d from rank %d: %w", c.Key, c.Owner, rerr)})
+		}
+		if len(reply) == 0 {
+			return nil
+		}
+		cells, derr := tree.DecodeCells(reply[0])
+		if derr != nil {
+			panic(fetchFailure{fmt.Errorf("decode children of cell %d: %w", c.Key, derr)})
+		}
+		return cells
+	}
+
+	walkCfg := traverse.Config{
+		MAC:          cfg.Tree.MAC,
+		Theta:        cfg.Tree.Theta,
+		AccTol:       accTol,
+		Kernel:       cfg.Tree.Kernel,
+		Eps:          cfg.Tree.Eps,
+		G:            cfg.Tree.G,
+		Periodic:     cfg.Tree.Periodic,
+		BoxSize:      cfg.Tree.BoxSize,
+		WS:           cfg.Tree.WS,
+		LatticeOrder: cfg.Tree.LatticeOrder,
+	}
+	t0 = time.Now()
+	w := traverse.NewWalker(dt.Tree, walkCfg)
+	w.WorkOut = make([]float64, len(dt.Tree.Pos))
+	acc, pot, counters, err := walkAll(w)
+	if err != nil {
+		// The transport is failing; Close would only fail on the same cause.
+		_ = abm.Close()
+		return nil, err
+	}
+	out.Traversal = time.Since(t0)
+	out.Timings.TreeTraversal = out.Traversal - commWait
+	out.Timings.Communication += commWait
+	out.Timings.ForceEvaluation = out.Timings.TreeTraversal
+	out.Counters = counters
+
+	// Scatter the results back into the rank's particle set and record
+	// each particle's actual interaction count for the next decomposition
+	// (the splitters then balance real work, not the rank-averaged estimate
+	// used previously).
+	for i, orig := range dt.SortIndex {
+		my.Acc[orig] = acc[i]
+		my.Pot[orig] = pot[i]
+		my.Work[orig] = w.WorkOut[i]
+	}
+
+	if err := abm.Close(); err != nil {
+		return nil, fmt.Errorf("core: abm close: %w", err)
+	}
+	return out, nil
+}
+
+// walkAll runs the walker's full traversal, translating a FetchChildren
+// failure (which surfaces as a typed panic through the error-less callback)
+// back into an error.
+func walkAll(w *traverse.Walker) (acc []vec.V3, pot []float64, counters traverse.Counters, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if ff, ok := p.(fetchFailure); ok {
+				err = fmt.Errorf("core: traversal: %w", ff.err)
+				return
+			}
+			panic(p)
+		}
+	}()
+	acc, pot, counters = w.ForcesForAll(1)
+	return acc, pot, counters, nil
+}
+
 // exchangeBranches distributes every rank's branch cells to every other rank.
-func exchangeBranches(r *comm.Rank, dt *tree.Distributed, mode string) {
+func exchangeBranches(r *comm.Rank, dt *tree.Distributed, mode string) error {
 	local := dt.LocalBranches()
 	encoded := dt.EncodeCells(local)
 
@@ -267,21 +353,36 @@ func exchangeBranches(r *comm.Rank, dt *tree.Distributed, mode string) {
 		for step := 1; step < n; step <<= 1 {
 			dst := (r.ID + step) % n
 			src := (r.ID - step%n + n) % n
-			payload := concatBlocks(known)
-			r.Send(dst, tagBranch+step, payload)
-			data, _ := r.Recv(src, tagBranch+step)
+			payload, err := concatBlocks(known)
+			if err != nil {
+				return err
+			}
+			if err := r.Send(dst, tagBranch+step, payload); err != nil {
+				return err
+			}
+			data, _, err := r.Recv(src, tagBranch+step)
+			if err != nil {
+				return err
+			}
 			if b, ok := data.([]byte); ok && len(b) > 0 {
 				known = append(known, b)
-				for _, c := range decodeAll(b) {
+				cells, err := tree.DecodeCells(b)
+				if err != nil {
+					return fmt.Errorf("branch cells from rank %d: %w", src, err)
+				}
+				for _, c := range cells {
 					if c.Owner != r.ID {
 						dt.AddRemoteCell(c)
 					}
 				}
 			}
 		}
-		r.Barrier()
+		return r.Barrier()
 	default: // "allgather" (WS93 global concatenation)
-		parts := r.Allgather(encoded)
+		parts, err := r.Allgather(encoded)
+		if err != nil {
+			return err
+		}
 		for src, p := range parts {
 			if src == r.ID {
 				continue
@@ -290,33 +391,34 @@ func exchangeBranches(r *comm.Rank, dt *tree.Distributed, mode string) {
 			if !ok || len(b) == 0 {
 				continue
 			}
-			for _, c := range decodeAll(b) {
+			cells, err := tree.DecodeCells(b)
+			if err != nil {
+				return fmt.Errorf("branch cells from rank %d: %w", src, err)
+			}
+			for _, c := range cells {
 				dt.AddRemoteCell(c)
 			}
 		}
+		return nil
 	}
 }
 
 // concatBlocks merges several EncodeCells buffers into one (cells are
-// length-prefixed so decodeAll below can parse the concatenation of decoded
+// length-prefixed so DecodeCells below can parse the concatenation of decoded
 // groups; we simply re-encode by decoding and re-counting).
-func concatBlocks(blocks [][]byte) []byte {
+func concatBlocks(blocks [][]byte) ([]byte, error) {
 	if len(blocks) == 1 {
-		return blocks[0]
+		return blocks[0], nil
 	}
 	var all []tree.Cell
 	for _, b := range blocks {
-		all = append(all, decodeAll(b)...)
+		cells, err := tree.DecodeCells(b)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, cells...)
 	}
-	return reencode(all)
-}
-
-func decodeAll(b []byte) []tree.Cell {
-	cells, err := tree.DecodeCells(b)
-	if err != nil {
-		panic(err)
-	}
-	return cells
+	return reencode(all), nil
 }
 
 // reencode rebuilds an EncodeCells buffer from decoded cells.  It round-trips

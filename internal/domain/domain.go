@@ -41,7 +41,7 @@ type Options struct {
 // range.  prev, if non-nil, seeds the splitter sampling with the previous
 // decomposition (cheap refinement when particles have moved little).
 // The particles of each rank are left sorted by key.
-func Decompose(r *comm.Rank, set *particle.Set, box vec.Box, opt Options, prev *Decomposition) *Decomposition {
+func Decompose(r *comm.Rank, set *particle.Set, box vec.Box, opt Options, prev *Decomposition) (*Decomposition, error) {
 	if opt.SamplesPerRank == 0 {
 		opt.SamplesPerRank = 64
 	}
@@ -54,18 +54,23 @@ func Decompose(r *comm.Rank, set *particle.Set, box vec.Box, opt Options, prev *
 	if prev != nil {
 		prevSplit = prev.Splitters
 	}
-	splitters := parsort.ChooseSplitters(r, ks, weights, opt.SamplesPerRank, prevSplit)
+	splitters, err := parsort.ChooseSplitters(r, ks, weights, opt.SamplesPerRank, prevSplit)
+	if err != nil {
+		return nil, err
+	}
 	d := &Decomposition{Box: box, Curve: opt.Curve, Splitters: splitters}
-	ExchangeParticles(r, set, d, opt.Alltoall)
+	if err := ExchangeParticles(r, set, d, opt.Alltoall); err != nil {
+		return nil, err
+	}
 	set.SortByKey(box, opt.Curve)
-	return d
+	return d, nil
 }
 
 // ExchangeParticles moves every particle to the rank that owns its key under
 // the decomposition.  After the initial decomposition the exchange pattern is
 // very sparse (particles only drift into neighboring domains), which the
 // Alltoallv implementations exploit by sending empty blocks cheaply.
-func ExchangeParticles(r *comm.Rank, set *particle.Set, d *Decomposition, algo comm.AlltoallAlgorithm) {
+func ExchangeParticles(r *comm.Rank, set *particle.Set, d *Decomposition, algo comm.AlltoallAlgorithm) error {
 	n := r.N()
 	outgoing := make([][]int, n)
 	ks := set.Keys(d.Box, d.Curve)
@@ -85,7 +90,10 @@ func ExchangeParticles(r *comm.Rank, set *particle.Set, d *Decomposition, algo c
 		send[dst] = set.EncodeRange(outgoing[dst])
 		toRemove = append(toRemove, outgoing[dst]...)
 	}
-	recv := r.AlltoallvBytes(send, algo)
+	recv, err := r.AlltoallvBytes(send, algo)
+	if err != nil {
+		return err
+	}
 	if len(toRemove) > 0 {
 		set.Select(toRemove) // drop the particles we shipped away
 	}
@@ -94,9 +102,10 @@ func ExchangeParticles(r *comm.Rank, set *particle.Set, d *Decomposition, algo c
 			continue
 		}
 		if err := set.DecodeAppend(recv[src]); err != nil {
-			panic(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // SplitWeighted chooses parts-1 split points over a sequence of per-item
@@ -207,12 +216,18 @@ func ShardImbalance(weights []float64, bounds []int) float64 {
 
 // Imbalance returns the ratio of the largest to the mean particle count
 // across ranks (1.0 is perfect balance).
-func Imbalance(r *comm.Rank, localCount int) float64 {
-	maxC := r.AllreduceFloat64(float64(localCount), "max")
-	sum := r.AllreduceFloat64(float64(localCount), "sum")
+func Imbalance(r *comm.Rank, localCount int) (float64, error) {
+	maxC, err := r.AllreduceFloat64(float64(localCount), "max")
+	if err != nil {
+		return 0, err
+	}
+	sum, err := r.AllreduceFloat64(float64(localCount), "sum")
+	if err != nil {
+		return 0, err
+	}
 	mean := sum / float64(r.N())
 	if mean == 0 {
-		return 1
+		return 1, nil
 	}
-	return maxC / mean
+	return maxC / mean, nil
 }

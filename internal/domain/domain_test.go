@@ -45,9 +45,17 @@ func TestDecomposePreservesParticlesAndBalances(t *testing.T) {
 		}
 	}
 	decomps := make([]*Decomposition, nRanks)
-	world.Run(func(r *comm.Rank) {
-		decomps[r.ID] = Decompose(r, perRank[r.ID], box, Options{Curve: keys.Hilbert}, nil)
+	err := world.Run(func(r *comm.Rank) error {
+		d, err := Decompose(r, perRank[r.ID], box, Options{Curve: keys.Hilbert}, nil)
+		if err != nil {
+			return err
+		}
+		decomps[r.ID] = d
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Every particle still exists exactly once (check by ID) and lives on
 	// the rank that owns its key.
@@ -89,16 +97,23 @@ func TestDecomposePreservesParticlesAndBalances(t *testing.T) {
 
 func TestImbalanceMetric(t *testing.T) {
 	world := comm.NewWorld(2)
-	world.Run(func(r *comm.Rank) {
+	err := world.Run(func(r *comm.Rank) error {
 		count := 100
 		if r.ID == 1 {
 			count = 300
 		}
-		imb := Imbalance(r, count)
+		imb, err := Imbalance(r, count)
+		if err != nil {
+			return err
+		}
 		if imb < 1.49 || imb > 1.51 {
 			t.Errorf("imbalance %.2f, want 1.5", imb)
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestSplitWeightedBalancesSkewedWeights(t *testing.T) {

@@ -108,7 +108,7 @@ func IsSorted(keys []uint64) bool {
 // cumulative weight between consecutive splitters is approximately equal.
 // If prev is non-nil it is used to seed the sample (the paper's optimization
 // of placing samples near the previous decomposition's splits).
-func ChooseSplitters(r *comm.Rank, keys []uint64, weights []float64, samplesPerRank int, prev []uint64) []uint64 {
+func ChooseSplitters(r *comm.Rank, keys []uint64, weights []float64, samplesPerRank int, prev []uint64) ([]uint64, error) {
 	if samplesPerRank < 1 {
 		samplesPerRank = 1
 	}
@@ -127,7 +127,10 @@ func ChooseSplitters(r *comm.Rank, keys []uint64, weights []float64, samplesPerR
 	// Seed with previous splitters so refinement is cheap when the
 	// distribution barely moved.
 	local = append(local, prev...)
-	all := r.AllgatherUint64(local)
+	all, err := r.AllgatherUint64(local)
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
 	// Weight-balanced choice: compute local weight below each candidate,
@@ -140,7 +143,10 @@ func ChooseSplitters(r *comm.Rank, keys []uint64, weights []float64, samplesPerR
 			totalLocal += w
 		}
 	}
-	totalWeight := r.AllreduceFloat64(totalLocal, "sum")
+	totalWeight, err := r.AllreduceFloat64(totalLocal, "sum")
+	if err != nil {
+		return nil, err
+	}
 
 	sortedLocal := make([]kw, n)
 	for i := range keys {
@@ -165,7 +171,11 @@ func ChooseSplitters(r *comm.Rank, keys []uint64, weights []float64, samplesPerR
 	candidates := dedup(all)
 	globalBelow := make([]float64, len(candidates))
 	for i, cand := range candidates {
-		globalBelow[i] = r.AllreduceFloat64(weightBelow(cand), "sum")
+		gb, err := r.AllreduceFloat64(weightBelow(cand), "sum")
+		if err != nil {
+			return nil, err
+		}
+		globalBelow[i] = gb
 	}
 
 	nr := r.N()
@@ -187,7 +197,7 @@ func ChooseSplitters(r *comm.Rank, keys []uint64, weights []float64, samplesPerR
 		splitters = append(splitters, best)
 	}
 	sort.Slice(splitters, func(i, j int) bool { return splitters[i] < splitters[j] })
-	return splitters
+	return splitters, nil
 }
 
 func dedup(sorted []uint64) []uint64 {

@@ -64,20 +64,27 @@ func TestChooseSplittersBalances(t *testing.T) {
 	const perRank = 2000
 	w := comm.NewWorld(nRanks)
 	counts := make([][]int, nRanks)
-	w.Run(func(r *comm.Rank) {
+	err := w.Run(func(r *comm.Rank) error {
 		rng := rand.New(rand.NewSource(int64(r.ID) + 1))
 		keys := make([]uint64, perRank)
 		for i := range keys {
 			keys[i] = uint64(rng.Int63())
 		}
-		splitters := parsortChoose(r, keys)
+		splitters, err := ChooseSplitters(r, keys, nil, 64, nil)
+		if err != nil {
+			return err
+		}
 		// Count how many local keys fall in each owner range; accumulate.
 		c := make([]int, nRanks)
 		for _, k := range keys {
 			c[OwnerOf(k, splitters)]++
 		}
 		counts[r.ID] = c
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := make([]int, nRanks)
 	for _, c := range counts {
 		for i, v := range c {
@@ -90,8 +97,4 @@ func TestChooseSplittersBalances(t *testing.T) {
 			t.Errorf("rank %d would own %d keys (mean %g): imbalanced splitters", i, v, mean)
 		}
 	}
-}
-
-func parsortChoose(r *comm.Rank, keys []uint64) []uint64 {
-	return ChooseSplitters(r, keys, nil, 64, nil)
 }

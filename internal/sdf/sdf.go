@@ -5,8 +5,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +20,18 @@ import (
 
 // headerTerminator separates the ASCII header from the binary body.
 const headerTerminator = "# SDF-EOH\n"
+
+// checksumParam announces the integrity footer in the header.  Files written
+// by this package carry checksumCRC32: a little-endian CRC32 (IEEE) of every
+// byte from the start of the file through the last particle record, appended
+// after the body.  Readers verify it, so a checkpoint truncated or corrupted
+// anywhere — including cleanly at a record boundary, which the record loop
+// alone cannot detect — is rejected instead of silently resuming a damaged
+// simulation.  Files without the parameter (pre-checksum format) still read.
+const (
+	checksumParam = "checksum"
+	checksumCRC32 = "crc32"
+)
 
 // Header holds the parsed metadata of an SDF file.
 type Header struct {
@@ -63,14 +78,60 @@ type Snapshot struct {
 	Extra            map[string]string
 }
 
-// Write stores the snapshot at path.
+// Write stores the snapshot at path atomically: the bytes go to a temporary
+// file in the same directory, are fsynced, and are renamed over path only
+// once complete.  A crash at any point leaves either the previous checkpoint
+// or the new one — never a half-written file under the checkpoint's name.
 func Write(path string, s *Snapshot) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := writeSnapshot(f, s); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir flushes the directory entry so the rename itself survives a crash.
+// Best-effort: not every platform supports fsync on a directory handle.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// writeSnapshot streams the header, body, and checksum footer to w.
+func writeSnapshot(out io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(out)
+	crc := crc32.NewIEEE()
+	// Everything before the footer feeds the running checksum.
+	w := io.MultiWriter(bw, crc)
 
 	n := s.Particles.Len()
 	fmt.Fprintf(w, "# SDF 1.0\n")
@@ -85,6 +146,7 @@ func Write(path string, s *Snapshot) error {
 		"units_vel":   "km/s",
 		"code":        "twohot",
 		"sdf_version": "1.0",
+		checksumParam: checksumCRC32,
 	}
 	for k, v := range s.Extra {
 		params["x_"+k] = v
@@ -118,7 +180,13 @@ func Write(path string, s *Snapshot) error {
 			}
 		}
 	}
-	return w.Flush()
+	// Footer: checksum of header + body, itself outside the checksum.
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	if _, err := bw.Write(foot[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // Read loads a snapshot from path.
@@ -131,8 +199,29 @@ func Read(path string) (*Snapshot, error) {
 	return ReadFrom(bufio.NewReader(f))
 }
 
+// crcTeeReader feeds every byte consumed from the underlying reader into a
+// running checksum, so ReadFrom can verify the footer against exactly the
+// bytes it parsed.
+type crcTeeReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (t *crcTeeReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	t.crc.Write(p[:n])
+	return n, err
+}
+
+func (t *crcTeeReader) ReadString(delim byte) (string, error) {
+	s, err := t.r.ReadString(delim)
+	t.crc.Write([]byte(s))
+	return s, err
+}
+
 // ReadFrom parses a snapshot from a reader.
-func ReadFrom(r *bufio.Reader) (*Snapshot, error) {
+func ReadFrom(br *bufio.Reader) (*Snapshot, error) {
+	r := &crcTeeReader{r: br, crc: crc32.NewIEEE()}
 	h := &Header{Parameters: map[string]string{}}
 	for {
 		line, err := r.ReadString('\n')
@@ -241,6 +330,22 @@ func ReadFrom(r *bufio.Reader) (*Snapshot, error) {
 			vec.V3{vals[0], vals[1], vals[2]},
 			vec.V3{vals[3], vals[4], vals[5]},
 			vals[6], id)
+	}
+
+	switch h.Parameters[checksumParam] {
+	case "":
+		// Pre-checksum file: nothing to verify.
+	case checksumCRC32:
+		want := r.crc.Sum32()
+		var foot [4]byte
+		if _, err := io.ReadFull(br, foot[:]); err != nil {
+			return nil, fmt.Errorf("sdf: missing checksum footer (file truncated): %w", err)
+		}
+		if got := binary.LittleEndian.Uint32(foot[:]); got != want {
+			return nil, fmt.Errorf("sdf: checksum mismatch (stored %08x, computed %08x): file corrupted or truncated", got, want)
+		}
+	default:
+		return nil, fmt.Errorf("sdf: unsupported checksum algorithm %q", h.Parameters[checksumParam])
 	}
 	return s, nil
 }

@@ -1,0 +1,159 @@
+package sdf
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These tests pin the crash-safety contract of Write/Read: a checkpoint file
+// under its final name is always complete and verified, a crash mid-write
+// leaves the previous checkpoint untouched, and any truncation or corruption
+// of the body is rejected by the checksum footer — including truncations that
+// land exactly on a record boundary, which the record-count loop alone would
+// accept when paired with a mangled count.
+
+func TestWriteAnnouncesChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.sdf")
+	if err := Write(path, sampleSnapshot(5)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("checksum = crc32;")) {
+		t.Error("written file does not announce its checksum")
+	}
+}
+
+func TestWriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.sdf")
+	for i := 0; i < 3; i++ { // overwrite path: still exactly one file
+		if err := Write(path, sampleSnapshot(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "snap.sdf" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory after writes: %v, want [snap.sdf]", names)
+	}
+}
+
+func TestReadRejectsCorruptedBody(t *testing.T) {
+	data := validSnapshotBytes(t, 8)
+	body := bytes.Index(data, []byte(headerTerminator)) + len(headerTerminator)
+	// Flip single body bytes at several offsets: raw float64 bits parse fine,
+	// so without the checksum these would be silent data corruption.
+	for _, off := range []int{body, body + 13, body + 8*8*4, len(data) - 5} {
+		cp := append([]byte(nil), data...)
+		cp[off] ^= 0x01
+		if _, err := readBytes(cp); err == nil {
+			t.Errorf("body byte %d flipped: read succeeded", off)
+		} else if !strings.Contains(err.Error(), "checksum") {
+			t.Errorf("body byte %d flipped: error %v does not mention checksum", off, err)
+		}
+	}
+}
+
+func TestReadRejectsTruncatedFooter(t *testing.T) {
+	data := validSnapshotBytes(t, 8)
+	// Cut 1..4 trailing bytes: the body is intact and record-complete, only
+	// the footer is short.
+	for cut := 1; cut <= 4; cut++ {
+		if _, err := readBytes(data[:len(data)-cut]); err == nil {
+			t.Errorf("footer truncated by %d: read succeeded", cut)
+		}
+	}
+}
+
+func TestReadRejectsRecordBoundaryTruncation(t *testing.T) {
+	// Truncate the body at an exact record boundary AND patch the header
+	// count to match: the record loop sees a self-consistent file, but the
+	// stored checksum no longer matches the bytes.
+	data := validSnapshotBytes(t, 8)
+	text := string(data)
+	text = strings.Replace(text, "npart = 8;", "npart = 6;", 1)
+	text = strings.Replace(text, "}[8];", "}[6];", 1)
+	cut := []byte(text)[:len(text)-2*8*8-4] // drop 2 records + footer
+	// Reattach the original footer, as a torn write interleaved with a
+	// metadata edit would.
+	cut = append(cut, data[len(data)-4:]...)
+	if _, err := readBytes(cut); err == nil {
+		t.Error("boundary-truncated body with patched count read successfully")
+	}
+}
+
+func TestReadLegacyFileWithoutChecksum(t *testing.T) {
+	// Strip the checksum announcement and the footer: the pre-checksum
+	// format, which must remain readable.
+	data := validSnapshotBytes(t, 6)
+	legacy := strings.Replace(string(data), "checksum = crc32;\n", "", 1)
+	legacy = legacy[:len(legacy)-4]
+	snap, err := readBytes([]byte(legacy))
+	if err != nil {
+		t.Fatalf("legacy file rejected: %v", err)
+	}
+	if snap.Particles.Len() != 6 {
+		t.Errorf("legacy read lost particles: %d", snap.Particles.Len())
+	}
+}
+
+func TestReadRejectsUnknownChecksum(t *testing.T) {
+	data := validSnapshotBytes(t, 3)
+	mangled := strings.Replace(string(data), "checksum = crc32;", "checksum = md5ish;", 1)
+	if _, err := readBytes([]byte(mangled)); err == nil {
+		t.Error("unknown checksum algorithm accepted")
+	}
+}
+
+func TestCrashMidWriteKeepsPreviousCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.sdf")
+	good := sampleSnapshot(17)
+	if err := Write(path, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash partway through a subsequent Write: the new bytes
+	// exist only in a temp file, truncated at an arbitrary point, and the
+	// rename never happened.
+	next := sampleSnapshot(23)
+	nextPath := filepath.Join(t.TempDir(), "next.sdf")
+	if err := Write(nextPath, next); err != nil {
+		t.Fatal(err)
+	}
+	nextBytes, err := os.ReadFile(nextPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{1, 2, 3} {
+		stray := filepath.Join(dir, "ckpt.sdf.tmp-crash")
+		if err := os.WriteFile(stray, nextBytes[:len(nextBytes)*frac/4], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The half-written temp file is itself unreadable...
+		if _, err := Read(stray); err == nil {
+			t.Errorf("partial temp file (%d/4) read successfully", frac)
+		}
+		// ...and the checkpoint under the real name is still the old one.
+		snap, err := Read(path)
+		if err != nil {
+			t.Fatalf("previous checkpoint unreadable after simulated crash: %v", err)
+		}
+		if snap.Particles.Len() != 17 {
+			t.Fatalf("previous checkpoint clobbered: %d particles", snap.Particles.Len())
+		}
+		os.Remove(stray)
+	}
+}

@@ -295,8 +295,25 @@ func (s *Simulation) Run() error {
 		if err := s.StepOnce(dlnA); err != nil {
 			return err
 		}
+		// Periodic crash protection: the checkpoint carries the leapfrog
+		// half-step offset and the step-grid anchor, so a run restored from
+		// it finishes the remaining steps bit-identically (Validate pins
+		// CheckpointEvery to global stepping, whose mid-run state a
+		// single-epoch snapshot represents exactly).
+		if k := s.Cfg.CheckpointEvery; k > 0 && s.StepCount%k == 0 && stp+1 < s.Cfg.NSteps {
+			if err := s.WriteCheckpoint(s.CheckpointPath()); err != nil {
+				return err
+			}
+		}
 	}
 	return s.Synchronize()
+}
+
+// CheckpointPath is where Run writes its periodic checkpoints when
+// Cfg.CheckpointEvery > 0: "<name>-ckpt.sdf" in the output directory.  Pass
+// it back through RestoreCheckpoint (or cmd/2hot's -restart flag) to resume.
+func (s *Simulation) CheckpointPath() string {
+	return s.OutputPath(s.Cfg.Name + "-ckpt.sdf")
 }
 
 // RungHistogram returns the particle count per timestep rung of the current
