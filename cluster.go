@@ -119,6 +119,14 @@ func RunClusterSupervised(cfg Config, opt ClusterRunOptions) (string, error) {
 		CheckpointPath:  filepath.Join(dir, cfg.Name+"-ckpt.sdf"),
 		CheckpointEvery: cfg.CheckpointEvery,
 	}
+	if cfg.BlockSteps > 0 {
+		spec.BlockSteps = cfg.BlockSteps
+		spec.RungDisplacementFrac = cfg.RungDisplacementFrac
+		// Same mean interparticle separation the single-process engine uses
+		// (newStepper), so block/ranks composes without changing the rung
+		// criterion.
+		spec.RungSep = cfg.BoxSize / float64(cfg.NGrid)
+	}
 	if spec.CheckpointEvery <= 0 {
 		spec.CheckpointEvery = 1
 	}

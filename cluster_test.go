@@ -154,7 +154,6 @@ func TestConfigValidatesTransportAndCheckpointing(t *testing.T) {
 		{"unknown transport", func(c *Config) { c.Transport = "carrier-pigeon" }},
 		{"tcp without ranks", func(c *Config) { c.Transport = "tcp" }},
 		{"negative checkpoint_every", func(c *Config) { c.CheckpointEvery = -1 }},
-		{"checkpoint_every with block steps", func(c *Config) { c.CheckpointEvery = 2; c.BlockSteps = 2 }},
 	}
 	for _, tc := range cases {
 		cfg := base
@@ -168,5 +167,13 @@ func TestConfigValidatesTransportAndCheckpointing(t *testing.T) {
 	ok.Ranks = 2
 	if err := ok.Validate(); err != nil {
 		t.Errorf("valid tcp config rejected: %v", err)
+	}
+	// checkpoint_every + block_steps is valid now that checkpoints land only
+	// at synchronized block boundaries.
+	ok = base
+	ok.CheckpointEvery = 2
+	ok.BlockSteps = 2
+	if err := ok.Validate(); err != nil {
+		t.Errorf("checkpoint_every with block_steps rejected: %v", err)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"twohot/internal/particle"
 	"twohot/internal/pm"
 	"twohot/internal/softening"
+	"twohot/internal/step"
 	"twohot/internal/traverse"
 	"twohot/internal/tree"
 	"twohot/internal/vec"
@@ -38,6 +39,7 @@ func main() {
 	stepOut := flag.String("step-out", "BENCH_step.json", "output path of the stepping report")
 	blockstep := flag.Bool("blockstep", false, "benchmark dirty-set subtree reuse and active-subset solves over an active-fraction sweep and write a JSON report")
 	blockstepOut := flag.String("blockstep-out", "BENCH_blockstep.json", "output path of the block-step report")
+	ranks := flag.Int("ranks", 1, "with -blockstep: also benchmark block vs global stepping over this many in-process ranks (distributed section of the report)")
 	solver := flag.Bool("solver", false, "sweep the same IC through every ForceSolver backend (tree/treepm/pm/direct) and write a JSON report")
 	solverOut := flag.String("solver-out", "BENCH_solver.json", "output path of the solver-sweep report")
 	commBench := flag.Bool("comm", false, "benchmark the in-process channel transport against TCP loopback (point-to-point and alltoallv) and write a JSON report")
@@ -72,7 +74,7 @@ func main() {
 		}
 	}
 	if *blockstep {
-		if err := runBlockstep(*blockstepOut); err != nil {
+		if err := runBlockstep(*blockstepOut, *ranks); err != nil {
 			fmt.Fprintln(os.Stderr, "blockstep:", err)
 			os.Exit(1)
 		}
@@ -528,6 +530,22 @@ type blockstepResult struct {
 	ForcesIdentical bool    `json:"active_forces_bit_identical"`
 }
 
+// distBlockstepResult is one row of the distributed block-stepping section
+// (-blockstep -ranks N): the same small end-to-end run stepped globally and
+// as multi-rung blocks, per world size.  Speedup compares block against
+// global at the SAME rank count, so it isolates what the rung schedule buys
+// once the exchange carries the activity masks; all-rung-0 equivalence is
+// pinned by the test suite, not re-measured here.
+type distBlockstepResult struct {
+	Ranks          int     `json:"ranks"`
+	BlockSteps     int     `json:"block_steps"`
+	RungsOccupied  int     `json:"rungs_occupied"`
+	WallMsPerStep  float64 `json:"wall_ms_per_step"`
+	SpeedupVsGlob  float64 `json:"speedup_vs_global_same_ranks,omitempty"`
+	FinalScaleFac  float64 `json:"final_scale_factor"`
+	ParticlesMoved int     `json:"particles"`
+}
+
 type blockstepReport struct {
 	Cores      int     `json:"cores"`
 	Timestamp  string  `json:"timestamp"`
@@ -538,6 +556,10 @@ type blockstepReport struct {
 	SpeedupDefinition string `json:"speedup_definition"`
 
 	Results []blockstepResult `json:"results"`
+
+	// Distributed section, present when -ranks > 1: block vs global
+	// stepping through the in-process rank exchange.
+	Distributed []distBlockstepResult `json:"distributed,omitempty"`
 }
 
 // treesIdentical compares two trees cell by cell: geometry, structure, and
@@ -592,7 +614,7 @@ func treesIdentical(a, b *tree.Tree) bool {
 // the clustered snapshot drifts (the block-step "active rung" population)
 // while the rest is frozen; the rebuild and the solve then get to reuse or
 // skip everything the frozen particles own.
-func runBlockstep(outPath string) error {
+func runBlockstep(outPath string, ranks int) error {
 	const n = 65536
 	const steps = 4
 	const sigma = 1e-4
@@ -763,6 +785,14 @@ func runBlockstep(outPath string) error {
 		}
 	}
 
+	if ranks > 1 {
+		dist, err := runBlockstepDistributed(ranks)
+		if err != nil {
+			return err
+		}
+		report.Distributed = dist
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -772,6 +802,81 @@ func runBlockstep(outPath string) error {
 	}
 	fmt.Printf("  wrote %s\n", outPath)
 	return nil
+}
+
+// runBlockstepDistributed steps one small end-to-end simulation globally and
+// as multi-rung blocks, on one rank and on `ranks` in-process ranks, timing
+// the wall clock per step.  The numbers quantify what the distributed block
+// composition buys (or costs) at this scale; the bit-level contracts behind
+// it are pinned by the test suite, not here.
+func runBlockstepDistributed(ranks int) ([]distBlockstepResult, error) {
+	base := twohot.DefaultConfig()
+	base.NGrid = 12 // 1728 particles
+	base.BoxSize = 100
+	base.ZInit = 19
+	base.ZFinal = 4
+	base.NSteps = 3
+	base.ErrTol = 1e-4
+	base.WS = 1
+	base.LatticeOrder = 2
+	base.Workers = 1
+
+	fmt.Printf("\nDistributed block stepping (N=%d, %d steps, ranks 1 and %d):\n",
+		base.NGrid*base.NGrid*base.NGrid, base.NSteps, ranks)
+	var out []distBlockstepResult
+	for _, r := range []int{1, ranks} {
+		globalMs := 0.0
+		for _, blockSteps := range []int{0, 3} {
+			cfg := base
+			cfg.Ranks = r
+			cfg.BlockSteps = blockSteps
+			// Inside the IC velocity spread: the fast tail populates the
+			// finer rungs, the bulk stays coarse — the regime block
+			// stepping exists for.
+			cfg.RungDisplacementFrac = 0.01
+			sim, err := twohot.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := sim.GenerateICs(); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := sim.Run(); err != nil {
+				return nil, err
+			}
+			wall := float64(time.Since(start).Nanoseconds()) / 1e6 / float64(cfg.NSteps)
+			res := distBlockstepResult{
+				Ranks:          r,
+				BlockSteps:     blockSteps,
+				WallMsPerStep:  wall,
+				FinalScaleFac:  sim.A,
+				ParticlesMoved: sim.P.Len(),
+			}
+			if blockSteps == 0 {
+				globalMs = wall
+				res.RungsOccupied = 1
+			} else {
+				if b, ok := sim.Stepper().(*step.Block); ok && b.State() != nil {
+					occupied := map[int8]bool{}
+					for _, rg := range b.State().Rung {
+						occupied[rg] = true
+					}
+					res.RungsOccupied = len(occupied)
+				}
+				if wall > 0 {
+					res.SpeedupVsGlob = globalMs / wall
+				}
+			}
+			out = append(out, res)
+			fmt.Printf("  ranks=%d block_steps=%d: %8.1f ms/step", r, blockSteps, wall)
+			if blockSteps > 0 {
+				fmt.Printf("  (%.2fx vs global, %d rungs occupied)", res.SpeedupVsGlob, res.RungsOccupied)
+			}
+			fmt.Println()
+		}
+	}
+	return out, nil
 }
 
 // solverResult is one row of the solver-sweep report: wall time and force

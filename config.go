@@ -86,7 +86,11 @@ type Config struct {
 	// the frozen positions of everything else.  The tree rebuild reuses
 	// the subtrees no active particle touched, bit for bit.  A block step
 	// whose particles all sit on rung 0 is bit-identical to the global
-	// step.  Requires the tree solver and Ranks <= 1.
+	// step.  Requires a tree-based solver.  With Ranks > 1 the block
+	// engine runs distributed: rungs, momentum epochs and activity flags
+	// travel with the particles through the rank exchange, every rank
+	// agrees on the block's substep schedule by summing per-rank rung
+	// histograms, and each substep solves only the active sinks.
 	BlockSteps int `json:"block_steps,omitempty"`
 	// RungDisplacementFrac is the per-particle rung criterion: a particle
 	// may stay on a rung only if one step on it moves the particle less
@@ -102,9 +106,12 @@ type Config struct {
 	// CheckpointEvery, when positive, writes an atomic checkpoint (see
 	// Simulation.CheckpointPath) after every CheckpointEvery-th step, so a
 	// crashed run can resume from the last completed multiple instead of
-	// the beginning.  Requires global stepping (BlockSteps == 0): mid-run,
-	// block-stepped momenta sit at per-particle epochs a single-epoch
-	// snapshot cannot represent.
+	// the beginning.  With BlockSteps > 0 checkpoints land only at
+	// synchronized block boundaries: mid-block, block-stepped momenta sit
+	// at per-particle epochs a single-epoch snapshot cannot represent, so
+	// a due checkpoint first closes the leapfrog (Synchronize) at the
+	// block boundary, then writes.  A resumed run re-primes its rungs and
+	// epochs from the synchronized snapshot, bit-identically.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 
 	// Output.
@@ -189,18 +196,23 @@ func (c *Config) Validate() error {
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("config: checkpoint_every must not be negative")
 	}
-	if c.CheckpointEvery > 0 && c.BlockSteps > 0 {
-		return fmt.Errorf("config: checkpoint_every requires global stepping (block_steps == 0): mid-run block-stepped momenta sit at per-particle epochs")
-	}
+	// checkpoint_every + block_steps was rejected until the block engine
+	// learned to close the leapfrog before a due checkpoint (mid-block
+	// momenta sit at per-particle epochs a single-epoch snapshot cannot
+	// represent); checkpoints now land only at synchronized block
+	// boundaries, so the combination is valid.
 	if c.BlockSteps < 0 || c.BlockSteps > step.MaxRungs {
 		return fmt.Errorf("config: block_steps must be between 0 and %d", step.MaxRungs)
 	}
 	if c.BlockSteps > 0 && c.Solver != SolverTree && c.Solver != SolverTreePM {
 		return fmt.Errorf("config: block_steps requires a tree-based solver (tree or treepm), not %q", c.Solver)
 	}
-	if c.BlockSteps > 0 && c.Ranks > 1 {
-		return fmt.Errorf("config: block_steps and ranks > 1 are mutually exclusive")
-	}
+	// block_steps + ranks > 1 was rejected while activity masks stopped at
+	// the rank boundary; rungs, momentum epochs and flags now travel with
+	// the particles through the exchange and the ranks agree on each
+	// block's schedule by a rung-histogram reduction, so the distributed
+	// block composition is valid (the solver constraint above still
+	// applies: ranks > 1 runs the distributed tree).
 	if c.RungDisplacementFrac < 0 {
 		return fmt.Errorf("config: rung_displacement_frac must not be negative")
 	}

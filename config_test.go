@@ -1,0 +1,88 @@
+package twohot
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidate is the table of accept/reject branches for the stepping
+// and deployment combinations, with the distributed block-timestep rows
+// spelled out: block_steps now composes with ranks > 1 (activity masks, rungs
+// and momentum epochs travel the rank exchange) and with checkpoint_every
+// (checkpoints land only at synchronized block boundaries), while the
+// combinations that are still meaningless stay rejected.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // "" = must validate; otherwise a substring of the error
+	}{
+		{"default", func(c *Config) {}, ""},
+
+		// Long-standing gates, kept in the table so the whole accept/reject
+		// surface reads in one place.
+		{"unknown solver", func(c *Config) { c.Solver = "warp-drive" }, "solver"},
+		{"z_init below z_final", func(c *Config) { c.ZInit = 0; c.ZFinal = 5 }, "z_init"},
+		{"unknown kernel", func(c *Config) { c.Kernel = "gaussian9000" }, "kernel"},
+		{"ranks without tree", func(c *Config) { c.Ranks = 2; c.Solver = SolverPM }, "ranks > 1"},
+
+		// Block stepping alone.
+		{"block steps with tree", func(c *Config) { c.BlockSteps = 3 }, ""},
+		{"block steps with treepm", func(c *Config) { c.BlockSteps = 3; c.Solver = SolverTreePM }, ""},
+		{"block steps with pm", func(c *Config) { c.BlockSteps = 3; c.Solver = SolverPM }, "tree-based solver"},
+		{"block steps with direct", func(c *Config) { c.BlockSteps = 3; c.Solver = SolverDirect }, "tree-based solver"},
+		{"block steps beyond rung cap", func(c *Config) { c.BlockSteps = 64 }, "block_steps"},
+		{"negative block steps", func(c *Config) { c.BlockSteps = -1 }, "block_steps"},
+		{"negative displacement frac", func(c *Config) { c.RungDisplacementFrac = -1 }, "rung_displacement_frac"},
+
+		// Block stepping over ranks: valid since the exchange carries the
+		// per-particle stepping state and the ranks agree on each block's
+		// schedule collectively.
+		{"block steps over ranks", func(c *Config) { c.BlockSteps = 3; c.Ranks = 2 }, ""},
+		{"block steps over ranks on tcp", func(c *Config) {
+			c.BlockSteps = 3
+			c.Ranks = 2
+			c.Transport = "tcp"
+		}, ""},
+		// ranks > 1 still runs the distributed tree only, block or not.
+		{"block steps over ranks with treepm", func(c *Config) {
+			c.BlockSteps = 3
+			c.Ranks = 2
+			c.Solver = SolverTreePM
+		}, "ranks > 1 requires the tree solver"},
+
+		// Checkpointing against block boundaries: valid since due checkpoints
+		// synchronize the leapfrog first.
+		{"checkpoints with block steps", func(c *Config) { c.BlockSteps = 3; c.CheckpointEvery = 2 }, ""},
+		{"checkpoints with block steps over ranks", func(c *Config) {
+			c.BlockSteps = 3
+			c.CheckpointEvery = 2
+			c.Ranks = 2
+			c.Transport = "tcp"
+		}, ""},
+		{"negative checkpoint cadence", func(c *Config) { c.CheckpointEvery = -1 }, "checkpoint_every"},
+
+		// Transport gates, unchanged.
+		{"tcp without ranks", func(c *Config) { c.Transport = "tcp" }, `transport "tcp"`},
+		{"unknown transport", func(c *Config) { c.Transport = "carrier-pigeon" }, "transport"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate rejected the config: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate accepted the config; want an error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

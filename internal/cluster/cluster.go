@@ -24,6 +24,7 @@ import (
 	"twohot/internal/comm"
 	"twohot/internal/core"
 	"twohot/internal/cosmo"
+	"twohot/internal/domain"
 	"twohot/internal/keys"
 	"twohot/internal/particle"
 	"twohot/internal/sdf"
@@ -49,6 +50,18 @@ type Spec struct {
 	BranchExchange string  `json:"branch_exchange,omitempty"`
 	NSteps         int     `json:"n_steps"`
 	DlnA           float64 `json:"dln_a"`
+
+	// Block stepping.  BlockSteps > 0 replaces each global step with a
+	// hierarchical block step of that many rung levels (see step.Block): the
+	// ranks agree on each block's substep schedule by summing their rung
+	// histograms, the domain decomposition is frozen within a block, and
+	// only the active particles are solved and kicked per substep.  Requires
+	// a periodic box.  RungDisplacementFrac is the per-particle rung
+	// criterion (0 = 0.1); RungSep the mean interparticle separation it is
+	// measured against (0 = derived from the input particle count).
+	BlockSteps           int     `json:"block_steps,omitempty"`
+	RungDisplacementFrac float64 `json:"rung_displacement_frac,omitempty"`
+	RungSep              float64 `json:"rung_sep,omitempty"`
 
 	// Files.  SnapshotIn is the initial state (an SDF snapshot; its "step"
 	// extra, when present, is the number of steps already completed — how a
@@ -133,17 +146,35 @@ func Worker(spec Spec, rank int) error {
 // sends in flight to rank 0 at once.
 const tagGather = 8000
 
+// RunHooks lets callers observe a rank run; every field is optional.
+type RunHooks struct {
+	// OnBlock fires on each rank after every completed block step of a
+	// block-stepped run (Spec.BlockSteps > 0) with the completed-step count
+	// and the agreed global rung histogram of that block.
+	OnBlock func(stepsDone int, hist []int)
+}
+
 // RankRun is the per-rank body of a cluster run, independent of the
 // transport joining r to its world.  Each rank loads its contiguous chunk of
 // the input snapshot, then repeats: distributed force solve, leapfrog
 // kick-drift (identical scalar factors on every rank), and a rechunk back to
 // the canonical contiguous layout.  Rank 0 writes checkpoints and the final
-// result.
+// result.  With Spec.BlockSteps > 0 the global leapfrog is replaced by the
+// distributed block-stepping engine (see rankRunBlock).
 //
 // Domain decomposition runs without work weights: per-particle work is not
 // part of the checkpoint format, and balancing on it would make a restarted
 // run decompose differently from the uninterrupted one.
 func RankRun(r *comm.Rank, spec Spec) error {
+	return RankRunHooked(r, spec, RunHooks{})
+}
+
+// RankRunHooked is RankRun with observation hooks (used by the equivalence
+// tests to watch per-block rung histograms).
+func RankRunHooked(r *comm.Rank, spec Spec, hooks RunHooks) error {
+	if spec.BlockSteps > 0 {
+		return rankRunBlock(r, spec, hooks)
+	}
 	par, err := cosmo.ByName(spec.Cosmology)
 	if err != nil {
 		return err
@@ -205,6 +236,183 @@ func RankRun(r *comm.Rank, spec Spec) error {
 		}
 	}
 	return writeGathered(r, my, spec.ResultPath, clk, spec, spec.NSteps)
+}
+
+// rankForcer adapts one rank's share of the distributed force pipeline to the
+// step.Forcer contract, so the block engine can drive it like any other
+// solver.  A non-nil active mask is stamped into the particle flags (they
+// travel with each particle through the domain exchange) and prunes every
+// rank's traversal; decomp, when non-nil, freezes the domain shape across the
+// substeps of one block (the block loop clears it at every block boundary).
+type rankForcer struct {
+	r      *comm.Rank
+	cfg    core.DistributedConfig
+	decomp *domain.Decomposition
+}
+
+func (f *rankForcer) Accelerations(p *particle.Set) (*core.Result, error) {
+	return f.ActiveForces(p, nil, nil)
+}
+
+func (f *rankForcer) ActiveForces(p *particle.Set, active, moved []bool) (*core.Result, error) {
+	cfg := f.cfg
+	if active != nil {
+		for i := range p.Flags {
+			if active[i] {
+				p.Flags[i] |= particle.FlagActive
+			} else {
+				p.Flags[i] &^= particle.FlagActive
+			}
+		}
+		cfg.ActiveMask = true
+	}
+	out, d, err := core.DistributedRankForcesReuse(f.r, p, cfg, f.decomp)
+	if err != nil {
+		return nil, err
+	}
+	f.decomp = d
+	return &core.Result{
+		Acc:      p.Acc,
+		Pot:      p.Pot,
+		Work:     p.Work,
+		Counters: out.Counters,
+		Timings:  out.Timings,
+	}, nil
+}
+
+// rankRunBlock is the block-stepping rank body: a step.Block engine drives
+// the distributed solve, with per-particle rungs, momentum epochs and
+// activity flags traveling inside the particle set through every exchange.
+// Compared to the global body, the canonical rechunk happens only at block
+// boundaries (the domain decomposition is frozen across the substeps of one
+// block, with boundary-crossers shipped on the frozen splitters), and a due
+// checkpoint lands only at a synchronized boundary: if any rank holds
+// per-particle epochs the snapshot cannot represent, the world collectively
+// closes the leapfrog first.  A run whose particles all stay on rung 0
+// executes exactly the global body's arithmetic, so its result, checkpoints
+// and every wire byte are identical to a BlockSteps == 0 run.
+func rankRunBlock(r *comm.Rank, spec Spec, hooks RunHooks) error {
+	par, err := cosmo.ByName(spec.Cosmology)
+	if err != nil {
+		return err
+	}
+	if !spec.Tree.Periodic {
+		return fmt.Errorf("cluster: block stepping requires a periodic box (the frozen-domain key space must not change between substeps)")
+	}
+	snap, err := sdf.Read(spec.SnapshotIn)
+	if err != nil {
+		return fmt.Errorf("cluster: rank %d: %w", r.ID, err)
+	}
+	startStep := 0
+	if v, err := strconv.Atoi(snap.Extra["step"]); err == nil && v > 0 {
+		startStep = v
+	}
+	my := chunkOf(snap.Particles, r.ID, r.N())
+	clk := step.Clock{A: snap.ScaleFac, AMom: snap.MomentumScaleFac}
+
+	dcfg := core.DistributedConfig{
+		Tree:           spec.Tree,
+		NRanks:         r.N(),
+		Curve:          spec.Curve,
+		Alltoall:       comm.AlltoallDirect,
+		BranchExchange: spec.BranchExchange,
+		UseWorkWeights: false,
+	}
+	if spec.Tree.Workers > 0 {
+		dcfg.Tree.Workers = spec.Tree.Workers * r.N()
+	}
+	fz := &rankForcer{r: r, cfg: dcfg}
+
+	sep := spec.RungSep
+	if sep == 0 {
+		sep = spec.Tree.BoxSize / math.Cbrt(float64(snap.Particles.Len()))
+	}
+	eng := step.NewBlock(par, spec.Tree.BoxSize, sep, spec.BlockSteps, spec.RungDisplacementFrac)
+	// Work weights never steer the cluster decomposition (UseWorkWeights is
+	// off above), so the between-block decay would only churn Work bytes a
+	// checkpoint resume (which resets Work) could not reproduce.
+	eng.WorkDecay = 0
+	// Rung agreement: sum the per-rank histograms so every rank derives the
+	// same substep schedule — and sees the same global rung occupancy.
+	eng.AgreeRungs = func(local []int) ([]int, error) {
+		enc := make([]uint64, len(local))
+		for i, c := range local {
+			enc[i] = uint64(c)
+		}
+		parts, err := r.AllgatherUint64(enc)
+		if err != nil {
+			return nil, fmt.Errorf("rung agreement: %w", err)
+		}
+		sum := make([]int, len(local))
+		for i, v := range parts {
+			sum[i%len(local)] += int(v)
+		}
+		return sum, nil
+	}
+
+	for s := startStep; s < spec.NSteps; s++ {
+		fz.decomp = nil // fresh splitters at every block start
+		if _, err := eng.Advance(fz, my, &clk, spec.DlnA); err != nil {
+			return fmt.Errorf("cluster: rank %d block step %d: %w", r.ID, s, err)
+		}
+		if my, err = rechunk(r, my); err != nil {
+			return fmt.Errorf("cluster: rank %d step %d rechunk: %w", r.ID, s, err)
+		}
+		if hooks.OnBlock != nil {
+			hooks.OnBlock(s+1, eng.RungHistogram())
+		}
+		if spec.CheckpointPath != "" && spec.CheckpointEvery > 0 && (s+1)%spec.CheckpointEvery == 0 {
+			if my, err = syncIfUnrepresentable(r, my, &clk, eng, fz); err != nil {
+				return fmt.Errorf("cluster: rank %d checkpoint sync after step %d: %w", r.ID, s, err)
+			}
+			if err := writeGathered(r, my, spec.CheckpointPath, clk, spec, s+1); err != nil {
+				return fmt.Errorf("cluster: rank %d checkpoint after step %d: %w", r.ID, s, err)
+			}
+		}
+	}
+
+	// Close the leapfrog with fresh splitters — the same final solve shape as
+	// the global body — and gather the synchronized result.
+	fz.decomp = nil
+	res, err := eng.Synchronize(fz, my, &clk)
+	if err != nil {
+		return fmt.Errorf("cluster: rank %d synchronize: %w", r.ID, err)
+	}
+	if res != nil {
+		if my, err = rechunk(r, my); err != nil {
+			return fmt.Errorf("cluster: rank %d synchronize rechunk: %w", r.ID, err)
+		}
+	}
+	return writeGathered(r, my, spec.ResultPath, clk, spec, spec.NSteps)
+}
+
+// syncIfUnrepresentable closes the leapfrog before a due checkpoint when the
+// world holds per-particle momentum epochs a single-epoch snapshot cannot
+// represent.  The verdict is collective (an allreduce over the ranks' local
+// checks), so every rank takes the same branch.  An all-rung-0 block leaves
+// one uniform trailing epoch, which the snapshot's two scale factors
+// represent exactly; it is written unchanged, preserving byte-identity with
+// the global path's mid-run checkpoints.
+func syncIfUnrepresentable(r *comm.Rank, my *particle.Set, clk *step.Clock, eng *step.Block, fz *rankForcer) (*particle.Set, error) {
+	local := 0.0
+	for _, am := range my.MomEpoch {
+		if am != clk.AMom {
+			local = 1
+			break
+		}
+	}
+	global, err := r.AllreduceFloat64(local, "max")
+	if err != nil {
+		return nil, err
+	}
+	if global == 0 {
+		return my, nil
+	}
+	fz.decomp = nil
+	if _, err := eng.Synchronize(fz, my, clk); err != nil {
+		return nil, err
+	}
+	return rechunk(r, my)
 }
 
 // advanceOnce is one kick-drift leapfrog step (step.Global.Advance) with the

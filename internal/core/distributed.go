@@ -32,6 +32,16 @@ type DistributedConfig struct {
 	// UseWorkWeights balances domains by the per-particle interaction counts
 	// of the previous step rather than by particle number.
 	UseWorkWeights bool
+
+	// ActiveMask restricts the solve's sinks to the particles carrying
+	// particle.FlagActive: the flags travel with the particles through the
+	// domain exchange, each rank maps its post-exchange flags into tree order
+	// and prunes the traversal to the active sink groups, and only the active
+	// slots of Acc/Pot/Work are written back (inactive particles keep their
+	// previous values, exactly like step.Scatter with a mask).  A set whose
+	// particles are all flagged active degenerates to the full solve,
+	// bit-identically.
+	ActiveMask bool
 }
 
 // DistributedResult aggregates the outcome of a distributed step.
@@ -146,7 +156,21 @@ type fetchFailure struct{ err error }
 //
 // Global quantities (total mass, bounding box) are computed by rank-ordered
 // collective reductions, so no process ever needs the full particle set.
-func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig) (out *RankOutcome, err error) {
+func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig) (*RankOutcome, error) {
+	out, _, err := DistributedRankForcesReuse(r, my, cfg, nil)
+	return out, err
+}
+
+// DistributedRankForcesReuse is DistributedRankForces with an explicit
+// decomposition seam for block-stepped cluster runs: when frozen is non-nil
+// its splitters are reused verbatim — particles that drifted across a domain
+// boundary are shipped to their owner and re-sorted, but no new splitters are
+// chosen — so the substeps of one block see a stable domain shape and the
+// rechunk-at-synchronization contract of internal/cluster holds.  Freezing
+// requires a periodic box (the key space must not change between substeps);
+// pass nil to choose fresh splitters exactly like DistributedRankForces.
+// The returned decomposition is the one used, for the caller to freeze.
+func DistributedRankForcesReuse(r *comm.Rank, my *particle.Set, cfg DistributedConfig, frozen *domain.Decomposition) (out *RankOutcome, decomp *domain.Decomposition, err error) {
 	cfg.Tree.defaults()
 	out = &RankOutcome{}
 
@@ -159,11 +183,11 @@ func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig
 		for axis := 0; axis < 3; axis++ {
 			lo, rerr := r.AllreduceFloat64(local.Lo[axis], "min")
 			if rerr != nil {
-				return nil, fmt.Errorf("core: bounding box reduce: %w", rerr)
+				return nil, nil, fmt.Errorf("core: bounding box reduce: %w", rerr)
 			}
 			hi, rerr := r.AllreduceFloat64(local.Hi[axis], "max")
 			if rerr != nil {
-				return nil, fmt.Errorf("core: bounding box reduce: %w", rerr)
+				return nil, nil, fmt.Errorf("core: bounding box reduce: %w", rerr)
 			}
 			local.Lo[axis], local.Hi[axis] = lo, hi
 		}
@@ -171,7 +195,7 @@ func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig
 	}
 	totalMass, err := r.AllreduceFloat64(my.TotalMass(), "sum")
 	if err != nil {
-		return nil, fmt.Errorf("core: total mass reduce: %w", err)
+		return nil, nil, fmt.Errorf("core: total mass reduce: %w", err)
 	}
 	rhoBar := 0.0
 	if cfg.Tree.BackgroundSubtraction {
@@ -181,13 +205,26 @@ func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig
 
 	// --- Domain decomposition -------------------------------------------
 	t0 := time.Now()
-	decomp, err := domain.Decompose(r, my, box, domain.Options{
-		Curve:    cfg.Curve,
-		Alltoall: cfg.Alltoall,
-		UseWork:  cfg.UseWorkWeights,
-	}, nil)
-	if err != nil {
-		return nil, fmt.Errorf("core: domain decomposition: %w", err)
+	if frozen == nil {
+		decomp, err = domain.Decompose(r, my, box, domain.Options{
+			Curve:    cfg.Curve,
+			Alltoall: cfg.Alltoall,
+			UseWork:  cfg.UseWorkWeights,
+		}, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: domain decomposition: %w", err)
+		}
+	} else {
+		// Reuse the frozen splitters: ship boundary-crossers to their owner
+		// and restore key order, but keep the domain shape fixed.  The key
+		// space is the frozen decomposition's box, which a periodic run
+		// guarantees matches the box computed above.
+		decomp = frozen
+		box = decomp.Box
+		if err := domain.ExchangeParticles(r, my, decomp, cfg.Alltoall); err != nil {
+			return nil, nil, fmt.Errorf("core: frozen-domain exchange: %w", err)
+		}
+		my.SortByKey(decomp.Box, decomp.Curve)
 	}
 	out.Timings.DomainDecomposition = time.Since(t0)
 
@@ -218,14 +255,14 @@ func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig
 		Workers:  buildWorkers,
 	}, keyLo, keyHi)
 	if err != nil {
-		return nil, fmt.Errorf("core: local tree build: %w", err)
+		return nil, nil, fmt.Errorf("core: local tree build: %w", err)
 	}
 	localBuild := time.Since(t0)
 
 	// --- Branch exchange and shared upper tree ---------------------------
 	t0 = time.Now()
 	if err := exchangeBranches(r, dt, cfg.BranchExchange); err != nil {
-		return nil, fmt.Errorf("core: branch exchange: %w", err)
+		return nil, nil, fmt.Errorf("core: branch exchange: %w", err)
 	}
 	dt.BuildUpper()
 	out.Timings.Communication += time.Since(t0)
@@ -257,7 +294,7 @@ func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig
 		return replies
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: abm open: %w", err)
+		return nil, nil, fmt.Errorf("core: abm open: %w", err)
 	}
 	var commWait time.Duration
 	dt.FetchChildren = func(c *tree.Cell) []tree.Cell {
@@ -292,11 +329,31 @@ func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig
 	t0 = time.Now()
 	w := traverse.NewWalker(dt.Tree, walkCfg)
 	w.WorkOut = make([]float64, len(dt.Tree.Pos))
+	// Activity restriction: the flags traveled with the particles through the
+	// exchange above, so the post-exchange set carries exactly the sinks the
+	// stepping engine marked active.  Map them into tree (sorted) order.
+	var sinkActive []bool
+	if cfg.ActiveMask {
+		sinkActive = make([]bool, my.Len())
+		nAct := 0
+		for i, orig := range dt.SortIndex {
+			a := my.Flags[orig]&particle.FlagActive != 0
+			sinkActive[i] = a
+			if a {
+				nAct++
+			}
+		}
+		if nAct == my.Len() {
+			sinkActive = nil // fully active: take the full-solve path bit for bit
+		}
+	}
+	w.SinkActive = sinkActive
 	acc, pot, counters, err := walkAll(w)
+	w.SinkActive = nil
 	if err != nil {
 		// The transport is failing; Close would only fail on the same cause.
 		_ = abm.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	out.Traversal = time.Since(t0)
 	out.Timings.TreeTraversal = out.Traversal - commWait
@@ -307,17 +364,22 @@ func DistributedRankForces(r *comm.Rank, my *particle.Set, cfg DistributedConfig
 	// Scatter the results back into the rank's particle set and record
 	// each particle's actual interaction count for the next decomposition
 	// (the splitters then balance real work, not the rank-averaged estimate
-	// used previously).
+	// used previously).  Under an active mask only the active slots are
+	// written; inactive particles keep their previous values, like
+	// step.Scatter with a mask.
 	for i, orig := range dt.SortIndex {
+		if sinkActive != nil && !sinkActive[i] {
+			continue
+		}
 		my.Acc[orig] = acc[i]
 		my.Pot[orig] = pot[i]
 		my.Work[orig] = w.WorkOut[i]
 	}
 
 	if err := abm.Close(); err != nil {
-		return nil, fmt.Errorf("core: abm close: %w", err)
+		return nil, nil, fmt.Errorf("core: abm close: %w", err)
 	}
-	return out, nil
+	return out, decomp, nil
 }
 
 // walkAll runs the walker's full traversal, translating a FetchChildren

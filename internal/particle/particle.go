@@ -23,7 +23,21 @@ type Set struct {
 	Acc  []vec.V3  // last computed accelerations
 	Pot  []float64 // last computed kernel sums (potential = -G * Pot)
 	Work []float64 // per-particle work estimate from the previous step (interaction counts), used for load balancing
+
+	// Block-timestep integrator state.  These travel with the particle
+	// through every exchange (EncodeRange/DecodeAppend) so a distributed
+	// block-stepping engine keeps per-particle rungs and momentum epochs
+	// coherent across rank boundaries.  All zero for global stepping.
+	Rung     []int8    // current timestep rung (0 = coarsest)
+	MomEpoch []float64 // scale factor the momentum is synchronized to (0 = unset)
+	Flags    []uint8   // activity bits, see FlagActive/FlagMoved
 }
+
+// Activity flag bits carried in Set.Flags.
+const (
+	FlagActive uint8 = 1 << iota // particle is a sink of the current substep's solve
+	FlagMoved                    // particle drifted since the previous solve
+)
 
 // New allocates an empty set with capacity n.
 func New(n int) *Set {
@@ -35,6 +49,10 @@ func New(n int) *Set {
 		Acc:  make([]vec.V3, 0, n),
 		Pot:  make([]float64, 0, n),
 		Work: make([]float64, 0, n),
+
+		Rung:     make([]int8, 0, n),
+		MomEpoch: make([]float64, 0, n),
+		Flags:    make([]uint8, 0, n),
 	}
 }
 
@@ -50,6 +68,9 @@ func (s *Set) Append(pos, mom vec.V3, mass float64, id int64) {
 	s.Acc = append(s.Acc, vec.V3{})
 	s.Pot = append(s.Pot, 0)
 	s.Work = append(s.Work, 1)
+	s.Rung = append(s.Rung, 0)
+	s.MomEpoch = append(s.MomEpoch, 0)
+	s.Flags = append(s.Flags, 0)
 }
 
 // AppendFrom copies particle i of src into s.
@@ -61,6 +82,9 @@ func (s *Set) AppendFrom(src *Set, i int) {
 	s.Acc = append(s.Acc, src.Acc[i])
 	s.Pot = append(s.Pot, src.Pot[i])
 	s.Work = append(s.Work, src.Work[i])
+	s.Rung = append(s.Rung, src.Rung[i])
+	s.MomEpoch = append(s.MomEpoch, src.MomEpoch[i])
+	s.Flags = append(s.Flags, src.Flags[i])
 }
 
 // Swap exchanges particles i and j.
@@ -72,6 +96,9 @@ func (s *Set) Swap(i, j int) {
 	s.Acc[i], s.Acc[j] = s.Acc[j], s.Acc[i]
 	s.Pot[i], s.Pot[j] = s.Pot[j], s.Pot[i]
 	s.Work[i], s.Work[j] = s.Work[j], s.Work[i]
+	s.Rung[i], s.Rung[j] = s.Rung[j], s.Rung[i]
+	s.MomEpoch[i], s.MomEpoch[j] = s.MomEpoch[j], s.MomEpoch[i]
+	s.Flags[i], s.Flags[j] = s.Flags[j], s.Flags[i]
 }
 
 // Clone returns a deep copy.
@@ -134,7 +161,7 @@ func (s *Set) Permute(idx []int) {
 }
 
 // particleRecordSize is the encoded byte size of one particle.
-const particleRecordSize = 3*8 + 3*8 + 8 + 8 + 8 // pos, mom, mass, id, work
+const particleRecordSize = 3*8 + 3*8 + 8 + 8 + 8 + 8 + 1 + 1 // pos, mom, mass, id, work, mom epoch, rung, flags
 
 // EncodeRange serializes particles [lo, hi) into a byte slice for exchange.
 func (s *Set) EncodeRange(indices []int) []byte {
@@ -145,6 +172,9 @@ func (s *Set) EncodeRange(indices []int) []byte {
 		binary.Write(buf, binary.LittleEndian, s.Mass[i])
 		binary.Write(buf, binary.LittleEndian, s.ID[i])
 		binary.Write(buf, binary.LittleEndian, s.Work[i])
+		binary.Write(buf, binary.LittleEndian, s.MomEpoch[i])
+		binary.Write(buf, binary.LittleEndian, s.Rung[i])
+		binary.Write(buf, binary.LittleEndian, s.Flags[i])
 	}
 	return buf.Bytes()
 }
@@ -158,15 +188,24 @@ func (s *Set) DecodeAppend(data []byte) error {
 	n := len(data) / particleRecordSize
 	for i := 0; i < n; i++ {
 		var pos, mom vec.V3
-		var mass, work float64
+		var mass, work, epoch float64
 		var id int64
+		var rung int8
+		var flags uint8
 		binary.Read(r, binary.LittleEndian, &pos)
 		binary.Read(r, binary.LittleEndian, &mom)
 		binary.Read(r, binary.LittleEndian, &mass)
 		binary.Read(r, binary.LittleEndian, &id)
 		binary.Read(r, binary.LittleEndian, &work)
+		binary.Read(r, binary.LittleEndian, &epoch)
+		binary.Read(r, binary.LittleEndian, &rung)
+		binary.Read(r, binary.LittleEndian, &flags)
 		s.Append(pos, mom, mass, id)
-		s.Work[s.Len()-1] = work
+		j := s.Len() - 1
+		s.Work[j] = work
+		s.MomEpoch[j] = epoch
+		s.Rung[j] = rung
+		s.Flags[j] = flags
 	}
 	return nil
 }

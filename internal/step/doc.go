@@ -46,6 +46,36 @@
 // global leapfrog step (pinned by simulation_blockstep_test.go at the
 // repository root).
 //
+// # Distributed block stepping
+//
+// The block engine runs unchanged over message-passing ranks because its
+// per-particle state is not engine-private: rungs, momentum epochs and
+// activity flags live in the particle set itself (particle.Set.Rung,
+// MomEpoch, Flags), travel inside the wire record of every exchange, and the
+// engine re-reads them from whatever set the Forcer hands back — so a solve
+// that regroups particles across ranks cannot strand integrator state.  Two
+// protocol points make the composition deterministic:
+//
+//   - Rung agreement.  Each rank assigns rungs locally, then the optional
+//     AgreeRungs hook combines the per-rank rung histograms (the cluster
+//     runner sums them with one allgather).  Every rank derives the block's
+//     substep schedule from the agreed histogram, never from its local
+//     maximum, so the worlds march in lockstep even when the finest occupied
+//     rung lives on one rank.
+//
+//   - Synchronized checkpoint boundaries.  CheckpointReady reports whether
+//     the momenta collapse to a single epoch; mid-block (or after a genuinely
+//     multi-rung block) they do not, and a snapshot cannot represent them.
+//     Distributed runners must decide collectively — a one-float allreduce of
+//     the local verdicts — whether to Synchronize before writing, because a
+//     rank-local decision would diverge and deadlock the collectives.
+//
+// When every particle sits on rung 0 the schedule has one substep, the
+// engine hands the solver a nil activity mask, and the distributed block run
+// is bit-identical to the distributed global run — the same degeneracy as in
+// the single-rank case, pinned across transports by internal/cluster's
+// block-mode tests.
+//
 // # Concurrency model
 //
 // Everything here is plain data owned by one integrator: no goroutines, no

@@ -157,6 +157,14 @@ const DefaultWorkDecay = 0.5
 // stay frozen (which is what lets the tree rebuild and the traversal reuse
 // their subtrees bit-identically).  A block whose particles all land on
 // rung 0 reproduces Global's arithmetic bit for bit.
+//
+// The per-particle integrator state (rung, momentum epoch, activity flags)
+// lives in the particle set itself (Set.Rung/MomEpoch/Flags), so a Forcer
+// that regroups particles — the distributed solvers exchange them between
+// ranks mid-substep — carries the state along with the particle.  The engine
+// re-derives its activity masks from the set after every solve; the kick and
+// drift arithmetic depends only on each particle's own state and the block's
+// scalar epochs, so a regrouped order changes no result bit.
 type Block struct {
 	Par     cosmo.Params
 	BoxSize float64
@@ -174,7 +182,20 @@ type Block struct {
 	// (decayStaleWork); 0 disables it.  NewBlock sets DefaultWorkDecay.
 	WorkDecay float64
 
-	st *State
+	// AgreeRungs, when set, merges the per-rank rung histograms at the start
+	// of each block so every rank derives the same substep schedule: it
+	// receives this rank's histogram (length Levels, index = rung) and must
+	// return the element-wise global sum — one allgather+sum in a distributed
+	// run, identity when nil.  The agreed histogram also becomes
+	// RungHistogram's value, so observers see global occupancy on every rank.
+	AgreeRungs func(local []int) ([]int, error)
+
+	p          *particle.Set
+	primed     bool
+	movedValid bool
+	hist       []int
+	active     []bool
+	moved      []bool
 }
 
 // NewBlock returns a block-timestep engine with levels rung levels and the
@@ -189,34 +210,57 @@ func NewBlock(par cosmo.Params, boxSize, sep float64, levels int, frac float64) 
 }
 
 // State exposes the per-particle integrator state of the current block (nil
-// until the first Advance) for diagnostics and tests.
-func (b *Block) State() *State { return b.st }
-
-// RungHistogram returns the particle count per timestep rung of the current
-// block (index = rung level), or nil when no block has run yet.
-func (b *Block) RungHistogram() []int {
-	if b.st == nil {
+// until the first Advance) for diagnostics and tests.  Rung and AMom alias
+// the particle set's own Rung/MomEpoch arrays; the activity masks are decoded
+// copies of the set's flag bits.
+func (b *Block) State() *State {
+	if !b.primed || b.p == nil {
 		return nil
 	}
-	out := make([]int, b.st.MaxRung()+1)
-	for _, r := range b.st.Rung {
-		out[r]++
+	n := b.p.Len()
+	st := &State{
+		Rung:       b.p.Rung,
+		AMom:       b.p.MomEpoch,
+		Active:     make([]bool, n),
+		Moved:      make([]bool, n),
+		MovedValid: b.movedValid,
 	}
-	return out
+	for i, fl := range b.p.Flags {
+		st.Active[i] = fl&particle.FlagActive != 0
+		st.Moved[i] = fl&particle.FlagMoved != 0
+	}
+	return st
+}
+
+// RungHistogram returns the particle count per timestep rung of the current
+// block (index = rung level), or nil when no block has run yet.  With an
+// AgreeRungs hook installed the histogram is the agreed global one, identical
+// on every rank; otherwise it counts the local particles.
+func (b *Block) RungHistogram() []int {
+	if !b.primed || b.hist == nil {
+		return nil
+	}
+	return append([]int(nil), b.hist...)
 }
 
 // Reset drops the per-particle integrator history, as after installing a new
-// particle load.
-func (b *Block) Reset() { b.st = nil }
+// particle load.  The next Advance re-primes every particle's momentum epoch
+// from the clock.
+func (b *Block) Reset() {
+	b.p = nil
+	b.primed = false
+	b.movedValid = false
+	b.hist = nil
+}
 
 // CheckpointReady implements the engine contract: a multi-rung block leaves
 // every particle's momentum at its own rung's half step, which a
 // single-epoch snapshot cannot represent.
 func (b *Block) CheckpointReady(aMom float64) error {
-	if b.st == nil {
+	if !b.primed || b.p == nil {
 		return nil
 	}
-	for _, am := range b.st.AMom {
+	for _, am := range b.p.MomEpoch {
 		if am != aMom {
 			return fmt.Errorf("step: block-stepped momenta sit at per-particle epochs; call Synchronize before writing a checkpoint")
 		}
@@ -224,13 +268,24 @@ func (b *Block) CheckpointReady(aMom float64) error {
 	return nil
 }
 
+// resizeBool returns s with length n, reallocating only on growth.
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
 // Advance performs one hierarchical block step of total size dlnA.
 func (b *Block) Advance(f Forcer, p *particle.Set, clk *Clock, dlnA float64) (*core.Result, error) {
-	n := p.Len()
-	if b.st == nil || len(b.st.Rung) != n {
-		b.st = NewState(n, clk.AMom)
+	b.p = p
+	if !b.primed {
+		for i := range p.MomEpoch {
+			p.MomEpoch[i] = clk.AMom
+		}
+		b.movedValid = false
+		b.primed = true
 	}
-	bs := b.st
 
 	// Rung assignment from the current momenta: one rung-r step may move a
 	// particle at most frac of the mean interparticle separation (the
@@ -241,16 +296,37 @@ func (b *Block) Advance(f Forcer, p *particle.Set, clk *Clock, dlnA float64) (*c
 		frac = 0.1
 	}
 	limit := frac * b.Sep * clk.A * clk.A * b.Par.Hubble(clk.A)
-	for i := range bs.Rung {
+	for i := range p.Rung {
 		v := p.Mom[i].Norm()
 		if v == 0 {
-			bs.Rung[i] = 0
+			p.Rung[i] = 0
 			continue
 		}
-		bs.Rung[i] = int8(RungFor(dlnA, limit/v, maxRung))
+		p.Rung[i] = int8(RungFor(dlnA, limit/v, maxRung))
 	}
 
-	sched := Schedule{MaxRung: bs.MaxRung()}
+	// Rung agreement: every rank must derive the same substep schedule, so
+	// the block's depth comes from the (agreed) histogram, not the local max.
+	local := make([]int, b.Levels)
+	for _, r := range p.Rung {
+		local[r]++
+	}
+	agreed := local
+	if b.AgreeRungs != nil {
+		var err error
+		if agreed, err = b.AgreeRungs(local); err != nil {
+			return nil, err
+		}
+	}
+	maxUsed := 0
+	for r, c := range agreed {
+		if c > 0 {
+			maxUsed = r
+		}
+	}
+	b.hist = append([]int(nil), agreed[:maxUsed+1]...)
+
+	sched := Schedule{MaxRung: maxUsed}
 	nSub := sched.Substeps()
 	h := dlnA / float64(nSub)
 	nRungs := sched.MaxRung + 1
@@ -271,22 +347,31 @@ func (b *Block) Advance(f Forcer, p *particle.Set, clk *Clock, dlnA float64) (*c
 	aMomEnd := clk.AMom
 	for k := 0; k < nSub; k++ {
 		rMin := sched.LowestActive(k)
+		n := p.Len()
+		b.active = resizeBool(b.active, n)
 		nActive := 0
-		for i, r := range bs.Rung {
+		for i, r := range p.Rung {
 			a := int(r) >= rMin
-			bs.Active[i] = a
+			b.active[i] = a
 			if a {
 				nActive++
+				p.Flags[i] |= particle.FlagActive
+			} else {
+				p.Flags[i] &^= particle.FlagActive
 			}
 		}
 		var moved []bool
-		if bs.MovedValid {
-			moved = bs.Moved
+		if b.movedValid {
+			b.moved = resizeBool(b.moved, n)
+			for i, fl := range p.Flags {
+				b.moved[i] = fl&particle.FlagMoved != 0
+			}
+			moved = b.moved
 		}
 
 		var active []bool
 		if nActive < n {
-			active = bs.Active
+			active = b.active
 		}
 		// A fully active substep passes a nil mask: it is identical to the
 		// global force path (the moved set still prunes the tree rebuild).
@@ -294,9 +379,25 @@ func (b *Block) Advance(f Forcer, p *particle.Set, clk *Clock, dlnA float64) (*c
 		if err != nil {
 			return nil, err
 		}
+		// A distributed forcer may have regrouped the set (particles shipped
+		// between ranks travel with their Rung/MomEpoch/Flags); rebuild the
+		// activity mask from the set before touching any particle.
+		n = p.Len()
+		b.active = resizeBool(b.active, n)
+		nActive = 0
+		for i, r := range p.Rung {
+			a := int(r) >= rMin
+			b.active[i] = a
+			if a {
+				nActive++
+			}
+		}
+		active = nil
+		if nActive < n {
+			active = b.active
+		}
 		Scatter(p, res, active)
 		last = res
-		acc := res.Acc
 
 		for r := rMin; r < nRungs; r++ {
 			span := sched.Span(r)
@@ -316,24 +417,32 @@ func (b *Block) Advance(f Forcer, p *particle.Set, clk *Clock, dlnA float64) (*c
 		}
 
 		// Kick, then drift, each over the active particles in index order —
-		// the exact update order of the global step.
+		// the exact update order of the global step.  Each update reads only
+		// the particle's own state and the per-rung scalars, so the bits are
+		// independent of the set's ordering.
 		for i := range p.Mom {
-			if !bs.Active[i] {
+			if !b.active[i] {
 				continue
 			}
-			r := int(bs.Rung[i])
-			p.Mom[i] = p.Mom[i].Add(acc[i].Scale(kicks[r].At(bs.AMom[i])))
-			bs.AMom[i] = aHalf[r]
+			r := int(p.Rung[i])
+			p.Mom[i] = p.Mom[i].Add(p.Acc[i].Scale(kicks[r].At(p.MomEpoch[i])))
+			p.MomEpoch[i] = aHalf[r]
 		}
 		l := b.BoxSize
 		for i := range p.Pos {
-			if !bs.Active[i] {
+			if !b.active[i] {
 				continue
 			}
-			p.Pos[i] = vec.WrapV(p.Pos[i].Add(p.Mom[i].Scale(drift[int(bs.Rung[i])])), l)
+			p.Pos[i] = vec.WrapV(p.Pos[i].Add(p.Mom[i].Scale(drift[int(p.Rung[i])])), l)
 		}
-		copy(bs.Moved, bs.Active)
-		bs.MovedValid = true
+		for i := range p.Flags {
+			if b.active[i] {
+				p.Flags[i] |= particle.FlagMoved
+			} else {
+				p.Flags[i] &^= particle.FlagMoved
+			}
+		}
+		b.movedValid = true
 		for r := rMin; r < nRungs; r++ {
 			aPos[r] = aNext[r]
 		}
@@ -363,7 +472,7 @@ func (b *Block) decayStaleWork(p *particle.Set, sched Schedule) {
 	}
 	mean /= float64(p.Len())
 	for i := range p.Work {
-		span := sched.Span(int(b.st.Rung[i]))
+		span := sched.Span(int(p.Rung[i]))
 		if span <= 1 {
 			continue
 		}
@@ -379,12 +488,12 @@ func (b *Block) decayStaleWork(p *particle.Set, sched Schedule) {
 // for bit.  Before the first block (no per-particle state yet) the global
 // closing kick applies.
 func (b *Block) Synchronize(f Forcer, p *particle.Set, clk *Clock) (*core.Result, error) {
-	bs := b.st
-	if bs == nil || len(bs.Rung) != p.Len() {
+	if !b.primed || b.p == nil {
 		return (&Global{Par: b.Par, BoxSize: b.BoxSize}).Synchronize(f, p, clk)
 	}
+	b.p = p
 	synced := true
-	for _, am := range bs.AMom {
+	for _, am := range p.MomEpoch {
 		if am != clk.A {
 			synced = false
 			break
@@ -395,8 +504,12 @@ func (b *Block) Synchronize(f Forcer, p *particle.Set, clk *Clock) (*core.Result
 		return nil, nil
 	}
 	var moved []bool
-	if bs.MovedValid {
-		moved = bs.Moved
+	if b.movedValid {
+		b.moved = resizeBool(b.moved, p.Len())
+		for i, fl := range p.Flags {
+			b.moved[i] = fl&particle.FlagMoved != 0
+		}
+		moved = b.moved
 	}
 	res, err := f.ActiveForces(p, nil, moved)
 	if err != nil {
@@ -404,16 +517,16 @@ func (b *Block) Synchronize(f Forcer, p *particle.Set, clk *Clock) (*core.Result
 	}
 	Scatter(p, res, nil)
 	// The solve consumed the current positions; nothing has moved since.
-	for i := range bs.Moved {
-		bs.Moved[i] = false
+	for i := range p.Flags {
+		p.Flags[i] &^= particle.FlagMoved
 	}
-	bs.MovedValid = true
+	b.movedValid = true
 
 	cache := NewFactorCache(b.Par.KickFactor)
 	cache.SetTarget(clk.A)
 	for i := range p.Mom {
-		p.Mom[i] = p.Mom[i].Add(res.Acc[i].Scale(cache.At(bs.AMom[i])))
-		bs.AMom[i] = clk.A
+		p.Mom[i] = p.Mom[i].Add(res.Acc[i].Scale(cache.At(p.MomEpoch[i])))
+		p.MomEpoch[i] = clk.A
 	}
 	clk.AMom = clk.A
 	return res, nil

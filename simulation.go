@@ -297,10 +297,18 @@ func (s *Simulation) Run() error {
 		}
 		// Periodic crash protection: the checkpoint carries the leapfrog
 		// half-step offset and the step-grid anchor, so a run restored from
-		// it finishes the remaining steps bit-identically (Validate pins
-		// CheckpointEvery to global stepping, whose mid-run state a
-		// single-epoch snapshot represents exactly).
+		// it finishes the remaining steps bit-identically.  Checkpoints land
+		// only at synchronized block boundaries: a multi-rung block leaves
+		// per-particle momentum epochs a single-epoch snapshot cannot
+		// represent, so a due checkpoint first closes the leapfrog at the
+		// boundary (all-rung-0 and global states are already representable
+		// and are written unchanged, preserving their bit-identity).
 		if k := s.Cfg.CheckpointEvery; k > 0 && s.StepCount%k == 0 && stp+1 < s.Cfg.NSteps {
+			if s.Stepper().CheckpointReady(s.AMom) != nil {
+				if err := s.Synchronize(); err != nil {
+					return err
+				}
+			}
 			if err := s.WriteCheckpoint(s.CheckpointPath()); err != nil {
 				return err
 			}

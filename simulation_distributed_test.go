@@ -1,6 +1,7 @@
 package twohot
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -103,6 +104,143 @@ func TestDistributedStepMatchesSerialAccelerations(t *testing.T) {
 		if maxPot > 5e-3 {
 			t.Errorf("ranks=%d: distributed potentials differ from serial: max %.3e", ranks, maxPot)
 		}
+	}
+}
+
+// assertBitIdenticalByID fails unless both simulations hold the same epochs
+// and, particle by particle (matched by ID — the distributed path regroups
+// the set every solve), bitwise-equal positions and momenta.
+func assertBitIdenticalByID(t *testing.T, name string, ref, got *Simulation) {
+	t.Helper()
+	if ref.A != got.A || ref.AMom != got.AMom || ref.StepCount != got.StepCount {
+		t.Fatalf("%s: epochs differ: A %v/%v AMom %v/%v steps %d/%d",
+			name, ref.A, got.A, ref.AMom, got.AMom, ref.StepCount, got.StepCount)
+	}
+	if ref.P.Len() != got.P.Len() {
+		t.Fatalf("%s: particle counts differ: %d vs %d", name, ref.P.Len(), got.P.Len())
+	}
+	idx := byID(ref)
+	for i, id := range got.P.ID {
+		j, ok := idx[id]
+		if !ok {
+			t.Fatalf("%s: particle ID %d lost", name, id)
+		}
+		if ref.P.Pos[j] != got.P.Pos[i] || ref.P.Mom[j] != got.P.Mom[i] {
+			t.Fatalf("%s: particle %d differs:\n  pos %v vs %v\n  mom %v vs %v",
+				name, id, ref.P.Pos[j], got.P.Pos[i], ref.P.Mom[j], got.P.Mom[i])
+		}
+	}
+}
+
+// TestDistributedBlockAllRungZeroBitIdenticalToGlobal is the distributed leg
+// of the block engine's degenerate-case contract: with every particle on rung
+// 0, a block-stepped run over N ranks must reproduce the global-stepped run
+// over the same N ranks BIT FOR BIT — same solves (the engine hands the
+// solver a nil mask when everyone is active), same splitters (Work history
+// identical), same kicks and drifts.  Covers ranks 2 and 4 so the matrix
+// includes an uneven chunking.
+func TestDistributedBlockAllRungZeroBitIdenticalToGlobal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run distributed equivalence matrix")
+	}
+	base := distributedConfig()
+	base.NSteps = 3
+	for _, ranks := range []int{2, 4} {
+		cfg := base
+		cfg.Ranks = ranks
+		ref, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.GenerateICs(); err != nil {
+			t.Fatal(err)
+		}
+		initial := ref.P.Clone()
+		a0 := ref.A
+		if err := ref.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		blk := cfg
+		blk.BlockSteps = 4
+		blk.RungDisplacementFrac = 1e12 // so loose nobody leaves rung 0
+		got, err := New(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.SetParticles(initial.Clone(), a0)
+		if err := got.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if bs := blockState(got); bs == nil {
+			t.Fatal("block-step run kept no block state")
+		} else if bs.MaxRung() != 0 {
+			t.Fatalf("ranks=%d: loose criterion still assigned rungs up to %d", ranks, bs.MaxRung())
+		}
+		assertBitIdenticalByID(t, fmt.Sprintf("ranks=%d", ranks), ref, got)
+	}
+}
+
+// TestDistributedBlockMultiRungMatchesSerialBlock runs a genuinely multi-rung
+// block configuration once on a single rank and once over two ranks: the
+// activity masks, rungs and momentum epochs now cross the exchange on every
+// substep, and the trajectories must stay within the solver's own error bar
+// of each other — the same bound the global-step distributed run is held to.
+func TestDistributedBlockMultiRungMatchesSerialBlock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run distributed equivalence matrix")
+	}
+	cfg := distributedConfig()
+	cfg.NSteps = 3
+	cfg.BlockSteps = 3
+	cfg.RungDisplacementFrac = 0.01
+
+	serial, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.GenerateICs(); err != nil {
+		t.Fatal(err)
+	}
+	initial := serial.P.Clone()
+	a0 := serial.A
+	if err := serial.Run(); err != nil {
+		t.Fatal(err)
+	}
+	occupied := map[int8]bool{}
+	for _, r := range blockState(serial).Rung {
+		occupied[r] = true
+	}
+	if len(occupied) < 2 {
+		t.Fatalf("displacement criterion produced a single rung (%v); tighten the test config", occupied)
+	}
+
+	rcfg := cfg
+	rcfg.Ranks = 2
+	dist, err := New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist.SetParticles(initial, a0)
+	if err := dist.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dist.A != serial.A || dist.AMom != serial.AMom {
+		t.Fatalf("final epochs differ: A %g/%g AMom %g/%g", dist.A, serial.A, dist.AMom, serial.AMom)
+	}
+
+	idx := byID(serial)
+	maxPos := 0.0
+	for i, id := range dist.P.ID {
+		j := idx[id]
+		if d := dist.P.Pos[i].Sub(serial.P.Pos[j]).Norm(); d > maxPos {
+			maxPos = d
+		}
+	}
+	t.Logf("ranks=2 multi-rung (%d rungs occupied): max position difference %.3e Mpc/h",
+		len(occupied), maxPos)
+	if maxPos > 1e-3*cfg.BoxSize {
+		t.Errorf("distributed block trajectory diverged from the serial block run by %.3e Mpc/h", maxPos)
 	}
 }
 

@@ -98,6 +98,16 @@ func syncState(t *testing.T, s *Simulation) *Simulation {
 // cancels, which makes the residual robust exactly where a naive ΔE check is
 // meaningless.
 func runInvariantCheck(t *testing.T, cfg Config, momTol, liTol float64) {
+	runInvariantCheckOpts(t, cfg, momTol, liTol, true)
+}
+
+// runInvariantCheckOpts is runInvariantCheck with the net-force closure made
+// optional: LastForce.Acc is only globally meaningful after a full solve, and
+// accelerations do not travel the rank exchange, so a distributed multi-rung
+// run ends its block with inactive slots whose Acc is unspecified (the
+// Result contract).  The momentum and Layzer-Irvine closures survive — they
+// are computed from the momenta themselves, which do travel.
+func runInvariantCheckOpts(t *testing.T, cfg Config, momTol, liTol float64, checkNetForce bool) {
 	sim, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -131,14 +141,16 @@ func runInvariantCheck(t *testing.T, cfg Config, momTol, liTol float64) {
 				sim.StepCount, rel, momTol)
 		}
 
-		var fSum vec.V3
-		fScale := 0.0
-		for i := range sim.P.Mass {
-			fSum = fSum.Add(sim.LastForce.Acc[i].Scale(sim.P.Mass[i]))
-			fScale += sim.P.Mass[i] * sim.LastForce.Acc[i].Norm()
-		}
-		if f := fSum.Norm() / fScale; f > worstForce {
-			worstForce = f
+		if checkNetForce {
+			var fSum vec.V3
+			fScale := 0.0
+			for i := range sim.P.Mass {
+				fSum = fSum.Add(sim.LastForce.Acc[i].Scale(sim.P.Mass[i]))
+				fScale += sim.P.Mass[i] * sim.LastForce.Acc[i].Norm()
+			}
+			if f := fSum.Norm() / fScale; f > worstForce {
+				worstForce = f
+			}
 		}
 
 		ss := syncState(t, sim)
@@ -162,7 +174,7 @@ func runInvariantCheck(t *testing.T, cfg Config, momTol, liTol float64) {
 	// acceptance is sink-centred, so action/reaction pairs are approximated
 	// differently — but it must stay at force-error level.  A sign error or
 	// a broken kernel shows up here as O(1).
-	if worstForce > 2e-3 {
+	if checkNetForce && worstForce > 2e-3 {
 		t.Errorf("net force reached %.3e of the force scale", worstForce)
 	}
 	t.Logf("N=%d steps=%d: worst momentum kick error %.3e, net force %.3e, Layzer-Irvine residual %.4f",
@@ -173,6 +185,25 @@ func TestRunConservesMomentumAndEnergy(t *testing.T) {
 	// Tier-1-speed variant: 512 particles, 6 steps.  Bounds carry ~5x
 	// headroom over the measured drifts (momentum 8e-5, residual 0.005).
 	runInvariantCheck(t, invariantConfig(8, 6), 5e-4, 0.025)
+}
+
+// TestDistributedBlockConservesMomentumAndEnergy pushes the physics closures
+// through the hardest composition in the codebase: block timesteps over ranks
+// — partial kicks from frozen-source forces, activity flags and momentum
+// epochs crossing the rank exchange every substep.  The momentum bound is
+// looser than the global-step run's because inactive particles keep frozen
+// forces across a block (a truncation-error effect, not a bug), and the
+// net-force closure is skipped outright: accelerations do not travel the
+// exchange, so inactive slots are unspecified after a partial substep.
+func TestDistributedBlockConservesMomentumAndEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed block-step physics run")
+	}
+	cfg := invariantConfig(8, 6)
+	cfg.Ranks = 2
+	cfg.BlockSteps = 3
+	cfg.RungDisplacementFrac = 0.01
+	runInvariantCheckOpts(t, cfg, 5e-3, 0.05, false)
 }
 
 func TestRunConservesMomentumAndEnergyLong(t *testing.T) {

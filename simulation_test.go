@@ -24,28 +24,8 @@ func smallConfig() Config {
 	return cfg
 }
 
-func TestConfigValidate(t *testing.T) {
-	cfg := DefaultConfig()
-	if err := cfg.Validate(); err != nil {
-		t.Fatalf("default config invalid: %v", err)
-	}
-	bad := cfg
-	bad.Solver = "warp-drive"
-	if err := bad.Validate(); err == nil {
-		t.Error("expected error for unknown solver")
-	}
-	bad = cfg
-	bad.ZInit = 0
-	bad.ZFinal = 5
-	if err := bad.Validate(); err == nil {
-		t.Error("expected error for z_init < z_final")
-	}
-	bad = cfg
-	bad.Kernel = "gaussian9000"
-	if err := bad.Validate(); err == nil {
-		t.Error("expected error for unknown kernel")
-	}
-}
+// Validation accept/reject branches live in the TestConfigValidate table in
+// config_test.go.
 
 func TestConfigRoundTrip(t *testing.T) {
 	dir := t.TempDir()

@@ -158,9 +158,12 @@ func NewDistributedTreeForceSolver(cfg core.TreeConfig, ranks int) ForceSolver {
 func (t *distTreeForceSolver) Name() string { return string(SolverTree) }
 
 func (t *distTreeForceSolver) Capabilities() Capabilities {
-	// Active subsets and incremental rebuilds stop at the rank boundary for
-	// now (ROADMAP: let DistributedStep carry activity masks).
-	return Capabilities{WorkFeedback: true, Potential: true}
+	// Active subsets cross the rank boundary: the mask is stamped into the
+	// set's flags, travels with each particle through the domain exchange,
+	// and prunes every rank's traversal (DistributedConfig.ActiveMask).
+	// Incremental rebuilds still stop at the boundary — each solve chooses
+	// fresh splitters and rebuilds the local trees.
+	return Capabilities{ActiveSubsets: true, WorkFeedback: true, Potential: true}
 }
 
 func (t *distTreeForceSolver) treeCfg() core.TreeConfig {
@@ -175,14 +178,24 @@ func (t *distTreeForceSolver) Accelerations(p *particle.Set) (*core.Result, erro
 }
 
 func (t *distTreeForceSolver) ActiveForces(p *particle.Set, active, moved []bool) (*core.Result, error) {
+	// Stamp the caller's mask into the per-particle flags so it survives the
+	// rank exchange; a nil mask leaves the flags alone and takes the plain
+	// full-solve path, bit-identical to Accelerations.
 	if active != nil {
-		return nil, fmt.Errorf("twohot: the distributed tree solver does not support active-subset solves")
+		for i := range p.Flags {
+			if active[i] {
+				p.Flags[i] |= particle.FlagActive
+			} else {
+				p.Flags[i] &^= particle.FlagActive
+			}
+		}
 	}
 	res, err := core.DistributedStep(p, core.DistributedConfig{
 		Tree:           t.treeCfg(),
 		NRanks:         t.ranks,
 		BranchExchange: "ring",
 		UseWorkWeights: true,
+		ActiveMask:     active != nil,
 	})
 	if err != nil {
 		return nil, err
