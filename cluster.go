@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"twohot/internal/analysis"
 	"twohot/internal/cluster"
 	"twohot/internal/sdf"
 )
@@ -69,33 +70,75 @@ func RunClusterSupervised(cfg Config, opt ClusterRunOptions) (string, error) {
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
+	spec, err := stageClusterRun(cfg, dir, opt.SnapshotIn)
+	if err != nil {
+		return "", err
+	}
+	command := opt.Command
+	if len(command) == 0 {
+		command = []string{os.Args[0]}
+	}
+	err = cluster.Supervise(spec, cluster.SuperviseOptions{
+		Command:     command,
+		MaxRestarts: opt.MaxRestarts,
+		Dir:         dir,
+		Stderr:      opt.Stderr,
+		OnRestart:   opt.OnRestart,
+	})
+	if err != nil {
+		return "", err
+	}
+	// The end-of-run analysis a single-process Run performs in situ is
+	// measured here by the supervisor from the gathered result snapshot —
+	// same trigger, same canonical particle order, so the catalog is
+	// byte-comparable with an in-process run's (Validate restricts cluster
+	// schedules to at_end; workers never run the observer loop).
+	if cfg.Analysis.AtEnd {
+		cat, err := AnalyzeSnapshot(cfg, spec.ResultPath,
+			analysis.Trigger{Kind: analysis.TriggerEnd, Step: cfg.NSteps})
+		if err != nil {
+			return "", err
+		}
+		if !cfg.Analysis.NoFiles {
+			path := filepath.Join(dir, cfg.Name+"-analysis-"+cat.Trigger.Label()+".json")
+			if err := analysis.WriteCatalog(path, cat); err != nil {
+				return "", err
+			}
+		}
+	}
+	return spec.ResultPath, nil
+}
 
-	// Stage the initial state as a file every worker loads: either the
-	// caller's snapshot (a resume) or freshly generated initial conditions.
-	// DlnA is derived so the remaining steps land on z_final; for a fresh
-	// run that is the full NSteps grid, and for a resume it reproduces the
-	// original grid's step size exactly in exact arithmetic.
+// stageClusterRun prepares a cluster run: it stages the initial state as a
+// file every worker loads — either the caller's snapshot (a resume) or
+// freshly generated initial conditions — and derives the run spec.  DlnA is
+// chosen so the remaining steps land on z_final; for a fresh run that is the
+// full NSteps grid, and for a resume it reproduces the original grid's step
+// size exactly in exact arithmetic.  The same spec drives every transport
+// (the TCP supervisor here, the in-process channel world in tests), which is
+// what makes their results byte-comparable.
+func stageClusterRun(cfg Config, dir, snapshotIn string) (cluster.Spec, error) {
 	aFinal := 1 / (1 + cfg.ZFinal)
-	icPath := opt.SnapshotIn
+	icPath := snapshotIn
 	var aStart float64
 	stepsDone := 0
 	if icPath == "" {
 		sim, err := New(cfg)
 		if err != nil {
-			return "", err
+			return cluster.Spec{}, err
 		}
 		if err := sim.GenerateICs(); err != nil {
-			return "", err
+			return cluster.Spec{}, err
 		}
 		icPath = filepath.Join(dir, cfg.Name+"-cluster-ic.sdf")
 		if err := sdf.Write(icPath, sim.Snapshot()); err != nil {
-			return "", err
+			return cluster.Spec{}, err
 		}
 		aStart = sim.A
 	} else {
 		snap, err := sdf.Read(icPath)
 		if err != nil {
-			return "", err
+			return cluster.Spec{}, err
 		}
 		aStart = snap.ScaleFac
 		if v, err := strconv.Atoi(snap.Extra["step"]); err == nil && v > 0 {
@@ -104,7 +147,7 @@ func RunClusterSupervised(cfg Config, opt ClusterRunOptions) (string, error) {
 	}
 	remaining := cfg.NSteps - stepsDone
 	if remaining <= 0 {
-		return "", fmt.Errorf("twohot: snapshot %s already completed step %d of %d", icPath, stepsDone, cfg.NSteps)
+		return cluster.Spec{}, fmt.Errorf("twohot: snapshot %s already completed step %d of %d", icPath, stepsDone, cfg.NSteps)
 	}
 
 	spec := cluster.Spec{
@@ -130,19 +173,5 @@ func RunClusterSupervised(cfg Config, opt ClusterRunOptions) (string, error) {
 	if spec.CheckpointEvery <= 0 {
 		spec.CheckpointEvery = 1
 	}
-	command := opt.Command
-	if len(command) == 0 {
-		command = []string{os.Args[0]}
-	}
-	err := cluster.Supervise(spec, cluster.SuperviseOptions{
-		Command:     command,
-		MaxRestarts: opt.MaxRestarts,
-		Dir:         dir,
-		Stderr:      opt.Stderr,
-		OnRestart:   opt.OnRestart,
-	})
-	if err != nil {
-		return "", err
-	}
-	return spec.ResultPath, nil
+	return spec, nil
 }

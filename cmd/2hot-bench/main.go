@@ -15,8 +15,10 @@ import (
 	"time"
 
 	twohot "twohot"
+	"twohot/internal/analysis"
 	"twohot/internal/core"
 	"twohot/internal/domain"
+	"twohot/internal/halo"
 	"twohot/internal/multipole"
 	"twohot/internal/particle"
 	"twohot/internal/pm"
@@ -44,6 +46,8 @@ func main() {
 	solverOut := flag.String("solver-out", "BENCH_solver.json", "output path of the solver-sweep report")
 	commBench := flag.Bool("comm", false, "benchmark the in-process channel transport against TCP loopback (point-to-point and alltoallv) and write a JSON report")
 	commOut := flag.String("comm-out", "BENCH_comm.json", "output path of the transport report")
+	analysisBench := flag.Bool("analysis", false, "benchmark the in-situ analysis pass (FOF+SO catalog, mass function, P(k)) against a force solve on the same snapshot and write a JSON report")
+	analysisOut := flag.String("analysis-out", "BENCH_analysis.json", "output path of the analysis report")
 	flag.Parse()
 
 	if *table3 {
@@ -88,6 +92,12 @@ func main() {
 	if *commBench {
 		if err := runComm(*commOut); err != nil {
 			fmt.Fprintln(os.Stderr, "comm:", err)
+			os.Exit(1)
+		}
+	}
+	if *analysisBench {
+		if err := runAnalysis(*analysisOut); err != nil {
+			fmt.Fprintln(os.Stderr, "analysis:", err)
 			os.Exit(1)
 		}
 	}
@@ -1017,6 +1027,137 @@ func runSolverSweep(outPath string) error {
 		}
 	}
 
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}
+
+// analysisResult is one row of the in-situ analysis report: the wall time of
+// each analyzer group over a clustered snapshot, next to a full force solve
+// on the same snapshot — the quantity an in-situ measurement competes with
+// for step budget.
+type analysisResult struct {
+	Particles int `json:"particles"`
+	Mesh      int `json:"mesh"`
+	Halos     int `json:"halos"`
+
+	HalosNs float64 `json:"halos_ns_per_pass"` // FOF + SO + mass function
+	PowerNs float64 `json:"power_ns_per_pass"` // CIC + FFT P(k)
+	FullNs  float64 `json:"full_ns_per_pass"`  // every analyzer enabled
+
+	SolveNs        float64 `json:"force_solve_ns"`
+	FracOfStep     float64 `json:"fraction_of_step"`
+	FracEverySteps float64 `json:"fraction_of_step_amortized"`
+}
+
+type analysisReport struct {
+	Cores     int    `json:"cores"`
+	Timestamp string `json:"timestamp"`
+	// Cadence is the EverySteps the amortized fraction assumes: a full
+	// analysis pass every Cadence steps costs full/(Cadence*solve) of the
+	// run's solve budget.
+	Cadence            int              `json:"cadence"`
+	FractionDefinition string           `json:"fraction_definition"`
+	Results            []analysisResult `json:"results"`
+}
+
+// runAnalysis measures the in-situ analysis pass (internal/analysis.Run: the
+// ID-canonicalized FOF+SO catalog with mass function, and the CIC+FFT power
+// spectrum) over clustered snapshots at increasing N, against a tree force
+// solve on the same snapshot, and writes BENCH_analysis.json.  The report
+// answers the question the scheduler's user asks: what does a measurement
+// trigger cost, relative to the stepping it interrupts, and what does a
+// cadence amortize it to?
+func runAnalysis(outPath string) error {
+	const cadence = 8
+	report := analysisReport{
+		Cores:     runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Cadence:   cadence,
+		FractionDefinition: "fraction_of_step = full analysis pass / one tree force solve on the same " +
+			"snapshot (1 worker, best of three each); fraction_of_step_amortized divides by the cadence — " +
+			"the per-step overhead of scheduling a full analysis every 8 steps",
+	}
+	fmt.Printf("\nIn-situ analysis (clustered snapshot, 1 worker, %d cores):\n", report.Cores)
+	for _, n := range []int{16384, 65536, 262144} {
+		set := particle.Clustered(n, 17)
+		mesh := 2
+		for mesh*mesh*mesh < n {
+			mesh *= 2
+		}
+		res := analysisResult{Particles: n, Mesh: mesh}
+		meta := analysis.Meta{Name: "bench", A: 1}
+		base := analysis.Options{
+			BoxSize: 1, Workers: 1, Mesh: mesh,
+			Halo: halo.Options{BoxSize: 1, Workers: 1},
+		}
+		timePass := func(mutate func(*analysis.Options)) (float64, int, error) {
+			opt := base
+			mutate(&opt)
+			best := 0.0
+			nh := 0
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				cat, err := analysis.Run(set, meta, opt, analysis.Theory{})
+				if err != nil {
+					return 0, 0, err
+				}
+				el := float64(time.Since(start).Nanoseconds())
+				if best == 0 || el < best {
+					best = el
+				}
+				nh = cat.NumHalos
+			}
+			return best, nh, nil
+		}
+		var err error
+		if res.HalosNs, res.Halos, err = timePass(func(o *analysis.Options) {
+			o.Halos, o.MassFunction = true, true
+		}); err != nil {
+			return err
+		}
+		if res.PowerNs, _, err = timePass(func(o *analysis.Options) {
+			o.PowerSpectrum = true
+		}); err != nil {
+			return err
+		}
+		if res.FullNs, _, err = timePass(func(o *analysis.Options) {
+			o.Halos, o.MassFunction, o.PowerSpectrum = true, true, true
+		}); err != nil {
+			return err
+		}
+
+		// The force solve the pass competes with: the same tree solver
+		// configuration the stepping benchmarks use, on the same snapshot.
+		solver := core.NewTreeSolver(core.TreeConfig{
+			Order: 4, ErrTol: 1e-4, Kernel: softening.Plummer, Eps: 0.002,
+			Periodic: true, BoxSize: 1, BackgroundSubtraction: true,
+			WS: 1, Workers: 1,
+		})
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			if _, err := solver.Forces(set.Pos, set.Mass); err != nil {
+				return err
+			}
+			el := float64(time.Since(start).Nanoseconds())
+			if res.SolveNs == 0 || el < res.SolveNs {
+				res.SolveNs = el
+			}
+		}
+		res.FracOfStep = res.FullNs / res.SolveNs
+		res.FracEverySteps = res.FracOfStep / cadence
+		report.Results = append(report.Results, res)
+		fmt.Printf("  N=%7d mesh=%3d  halos %8.1f ms (%d found)  P(k) %7.1f ms  full %8.1f ms  "+
+			"solve %8.1f ms  -> %5.1f%% of a step (%4.2f%% at cadence %d)\n",
+			n, mesh, res.HalosNs/1e6, res.Halos, res.PowerNs/1e6, res.FullNs/1e6,
+			res.SolveNs/1e6, 100*res.FracOfStep, 100*res.FracEverySteps, cadence)
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -7,6 +7,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	twohot "twohot"
 )
@@ -22,6 +24,9 @@ func main() {
 	dumpDefault := flag.Bool("print-default-config", false, "print the default configuration and exit")
 	restart := flag.String("restart", "", "checkpoint file to restart from")
 	out := flag.String("o", "snapshot_final.sdf", "output snapshot path")
+	analyzeZ := flag.String("analyze-z", "", "comma-separated redshifts for scheduled in-situ analysis outputs")
+	analyzeEvery := flag.Int("analyze-every", 0, "emit an in-situ analysis output every N steps")
+	analyzeEnd := flag.Bool("analyze-end", false, "emit an in-situ analysis output after the final step")
 	flag.Parse()
 
 	if *dumpDefault {
@@ -39,6 +44,25 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	// Schedule flags layer on top of whatever the config file requests.
+	if *analyzeZ != "" {
+		for _, field := range strings.Split(*analyzeZ, ",") {
+			z, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -analyze-z value %q: %w", field, err))
+			}
+			cfg.Analysis.Redshifts = append(cfg.Analysis.Redshifts, z)
+		}
+	}
+	if *analyzeEvery > 0 {
+		cfg.Analysis.EverySteps = *analyzeEvery
+	}
+	if *analyzeEnd {
+		cfg.Analysis.AtEnd = true
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
 	// The multi-process deployment: workers over the fault-tolerant TCP
 	// transport, restarted from the last checkpoint when a rank dies.
@@ -83,6 +107,10 @@ func main() {
 			fmt.Printf("step %4d  z=%7.3f\n", info.Step, info.Z)
 		},
 	})
+	sim.AddAnalysisObserver(twohot.AnalysisFunc(func(info twohot.AnalysisInfo) {
+		fmt.Printf("analysis %-9s z=%7.3f halos=%d -> %s\n",
+			info.Trigger.Label(), info.Catalog.Z, info.Catalog.NumHalos, info.Path)
+	}))
 	if err := sim.Run(); err != nil {
 		fatal(err)
 	}

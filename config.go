@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 
+	"twohot/internal/analysis"
 	"twohot/internal/core"
 	"twohot/internal/cosmo"
+	"twohot/internal/halo"
 	"twohot/internal/pm"
 	"twohot/internal/softening"
 	"twohot/internal/step"
@@ -116,6 +118,65 @@ type Config struct {
 
 	// Output.
 	OutputDir string `json:"output_dir"`
+
+	// Analysis schedules in-situ measurements during Run; the zero value
+	// never fires.  See AnalysisConfig and internal/analysis for the
+	// schedule and determinism contract.
+	Analysis AnalysisConfig `json:"analysis,omitempty"`
+}
+
+// AnalysisConfig schedules in-situ analysis outputs — halo catalogs, mass
+// functions, power spectra measured from the live particle set while Run
+// advances.  The zero value never fires.  Results reach the caller through
+// analysis observers (WithAnalysisObserver, AddAnalysisObserver) and, unless
+// NoFiles is set, as atomic JSON catalog files in the output directory named
+// "<name>-analysis-<trigger>.json".
+type AnalysisConfig struct {
+	// Redshifts fire on the step that crosses each value (stateless crossing
+	// detection on the run's step grid, so a checkpoint resume fires on
+	// exactly the steps the uninterrupted run fires on).  Each value must lie
+	// in [z_final, z_init).
+	Redshifts []float64 `json:"redshifts,omitempty"`
+	// EverySteps fires after every k-th completed step, on the same step grid
+	// checkpoints preserve.
+	EverySteps int `json:"every_steps,omitempty"`
+	// AtEnd fires once after the run's final synchronize.
+	AtEnd bool `json:"at_end,omitempty"`
+
+	// Analyzer selection.  When none is set, all three run — an empty
+	// selection is read as "everything", never as "nothing" (a schedule that
+	// fires must measure something).
+	Halos         bool `json:"halos,omitempty"`
+	MassFunction  bool `json:"mass_function,omitempty"`
+	PowerSpectrum bool `json:"power_spectrum,omitempty"`
+
+	// Synchronize closes the leapfrog before every scheduled measurement, so
+	// momenta refer to the output epoch.  The built-in analyzers read only
+	// positions and are exact either way; block-stepped runs whose momenta
+	// sit at per-particle epochs synchronize regardless (the same gate
+	// checkpoints use).  A mid-run synchronize restarts the leapfrog at the
+	// output epoch: the trajectory afterwards is second-order accurate but
+	// not bit-identical to a run without the output, while runs sharing a
+	// schedule stay bit-identical to each other.
+	Synchronize bool `json:"synchronize,omitempty"`
+	// NoFiles suppresses the catalog files; results then reach only the
+	// registered analysis observers.
+	NoFiles bool `json:"no_files,omitempty"`
+
+	// Analyzer parameters; zero values mean the documented defaults.
+	LinkingLength float64 `json:"linking_length,omitempty"` // FOF b (0 = 0.2)
+	MinMembers    int     `json:"min_members,omitempty"`    // FOF cut (0 = 20, 1 = no cut)
+	MassBins      int     `json:"mass_bins,omitempty"`      // mass-function bins (0 = 16)
+	Mesh          int     `json:"mesh,omitempty"`           // P(k) grid per side (0 = 2*NGrid)
+	MaxHalos      int     `json:"max_halos,omitempty"`      // per-halo entries kept in the catalog (0 = all)
+}
+
+// Enabled reports whether the configuration schedules any output.
+func (a AnalysisConfig) Enabled() bool { return !a.schedule().Empty() }
+
+// schedule converts the scheduling fields to the internal form.
+func (a AnalysisConfig) schedule() analysis.Schedule {
+	return analysis.Schedule{Redshifts: a.Redshifts, EverySteps: a.EverySteps, AtEnd: a.AtEnd}
 }
 
 // DefaultConfig returns a small but complete cosmological configuration.
@@ -228,7 +289,61 @@ func (c *Config) Validate() error {
 				rcut, c.BoxSize/2)
 		}
 	}
+	if err := c.Analysis.schedule().Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	for _, z := range c.Analysis.Redshifts {
+		// A crossing outside [z_final, z_init) never fires; surface the
+		// mistake instead of silently producing nothing.
+		if z >= c.ZInit || z < c.ZFinal {
+			return fmt.Errorf("config: analysis redshift %g outside the run (z_final %g <= z < z_init %g)",
+				z, c.ZFinal, c.ZInit)
+		}
+	}
+	if c.Transport == "tcp" && (len(c.Analysis.Redshifts) > 0 || c.Analysis.EverySteps > 0) {
+		// Supervised worker processes advance without the in-process
+		// observer loop; only the end-of-run catalog (measured by the
+		// supervisor from the gathered snapshot) is available there.
+		return fmt.Errorf("config: analysis redshift/cadence outputs require an in-process run; transport \"tcp\" supports only at_end")
+	}
+	if c.Analysis.Enabled() {
+		if err := c.analysisOptions().Validate(); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+	}
 	return nil
+}
+
+// analysisOptions derives the analyzer options the scheduled analysis runs
+// with: box, worker count and halo-finder parameters inherited from the
+// run's own, the P(k) mesh defaulting to 2*NGrid like PowerSpectrum(0), and
+// an empty analyzer selection reading as all three.
+func (c *Config) analysisOptions() analysis.Options {
+	a := c.Analysis
+	halos, mf, pk := a.Halos, a.MassFunction, a.PowerSpectrum
+	if !halos && !mf && !pk {
+		halos, mf, pk = true, true, true
+	}
+	mesh := a.Mesh
+	if mesh == 0 {
+		mesh = 2 * c.NGrid
+	}
+	return analysis.Options{
+		BoxSize:       c.BoxSize,
+		Workers:       c.Workers,
+		Halos:         halos,
+		MassFunction:  mf,
+		PowerSpectrum: pk,
+		Halo: halo.Options{
+			BoxSize:       c.BoxSize,
+			LinkingLength: a.LinkingLength,
+			MinMembers:    a.MinMembers,
+			Workers:       c.Workers,
+		},
+		MassBins: a.MassBins,
+		Mesh:     mesh,
+		MaxHalos: a.MaxHalos,
+	}
 }
 
 // treeConfig derives the tree-solver configuration NewForceSolver hands to

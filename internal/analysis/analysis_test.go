@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"twohot/internal/particle"
+	"twohot/internal/vec"
+)
+
+// clusteredSet builds a deterministic particle set with a few tight planted
+// clumps plus a uniform background — enough structure for the FOF/SO pass to
+// find halos and the P(k) estimator to see power.
+func clusteredSet(seed int64, n int, box float64) *particle.Set {
+	rng := rand.New(rand.NewSource(seed))
+	set := particle.New(n)
+	centers := []vec.V3{
+		{0.1 * box, 0.2 * box, 0.3 * box},
+		{0.7 * box, 0.6 * box, 0.8 * box},
+		{0.01 * box, 0.95 * box, 0.5 * box}, // near a face: exercises the wrap
+	}
+	for i := 0; i < n; i++ {
+		var p vec.V3
+		if i < n/2 {
+			c := centers[i%len(centers)]
+			r := 0.01 * box
+			p = vec.V3{
+				mod(c[0]+rng.NormFloat64()*r, box),
+				mod(c[1]+rng.NormFloat64()*r, box),
+				mod(c[2]+rng.NormFloat64()*r, box),
+			}
+		} else {
+			p = vec.V3{rng.Float64() * box, rng.Float64() * box, rng.Float64() * box}
+		}
+		set.Append(p, vec.V3{}, 1.0, int64(i))
+	}
+	return set
+}
+
+func mod(x, box float64) float64 {
+	x = math.Mod(x, box)
+	if x < 0 {
+		x += box
+	}
+	return x
+}
+
+func testOptions(box float64) Options {
+	return Options{
+		BoxSize:       box,
+		Halos:         true,
+		MassFunction:  true,
+		PowerSpectrum: true,
+		Mesh:          32,
+	}
+}
+
+// TestRunCanonicalizesParticleOrder is the layout-invariance contract: the
+// same physical state presented in a different in-memory order (as after a
+// distributed run's rank regrouping, or a gathered snapshot) must produce a
+// byte-identical catalog.
+func TestRunCanonicalizesParticleOrder(t *testing.T) {
+	const box = 64.0
+	meta := Meta{Name: "canon", Step: 3, A: 0.5, Trigger: Trigger{Kind: TriggerManual, Step: 3}}
+	opt := testOptions(box)
+
+	set := clusteredSet(42, 600, box)
+	ref, err := Run(set, meta, opt, Theory{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := EncodeCatalog(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministically shuffle the same state into a different layout.
+	shuffled := clusteredSet(42, 600, box)
+	rng := rand.New(rand.NewSource(7))
+	n := shuffled.Len()
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		shuffled.Pos[i], shuffled.Pos[j] = shuffled.Pos[j], shuffled.Pos[i]
+		shuffled.Mass[i], shuffled.Mass[j] = shuffled.Mass[j], shuffled.Mass[i]
+		shuffled.ID[i], shuffled.ID[j] = shuffled.ID[j], shuffled.ID[i]
+	}
+	got, err := Run(shuffled, meta, opt, Theory{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := EncodeCatalog(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refBytes, gotBytes) {
+		t.Fatalf("catalog depends on particle layout:\nref %d halos, got %d halos", ref.NumHalos, got.NumHalos)
+	}
+	if ref.NumHalos == 0 {
+		t.Fatal("fixture produced no halos; the invariance check is vacuous")
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the parallel passes (SO, P(k)): the
+// catalog bytes must not depend on the worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	const box = 64.0
+	meta := Meta{Name: "workers", Step: 1, A: 0.5, Trigger: Trigger{Kind: TriggerManual, Step: 1}}
+	set := clusteredSet(11, 800, box)
+
+	var ref []byte
+	for _, workers := range []int{1, 2, 5, 8} {
+		opt := testOptions(box)
+		opt.Workers = workers
+		cat, err := Run(set, meta, opt, Theory{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := EncodeCatalog(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = data
+			continue
+		}
+		if !bytes.Equal(ref, data) {
+			t.Fatalf("catalog bytes differ between 1 and %d workers", workers)
+		}
+	}
+}
+
+func TestCatalogFileRoundTrip(t *testing.T) {
+	const box = 32.0
+	set := clusteredSet(3, 300, box)
+	meta := Meta{Name: "roundtrip", Step: 2, A: 0.25, Trigger: Trigger{Kind: TriggerCadence, Step: 2}}
+	cat, err := Run(set, meta, testOptions(box), Theory{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cat.json")
+	if err := WriteCatalog(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := EncodeCatalog(cat)
+	b, _ := EncodeCatalog(back)
+	if !bytes.Equal(a, b) {
+		t.Fatal("catalog did not survive the file round trip")
+	}
+	if back.Z != 1/meta.A-1 {
+		t.Errorf("catalog z = %v, want %v", back.Z, 1/meta.A-1)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	ok := testOptions(64)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	bad := []func(*Options){
+		func(o *Options) { o.BoxSize = 0 },
+		func(o *Options) { o.Halos, o.MassFunction, o.PowerSpectrum = false, false, false },
+		func(o *Options) { o.MassBins = -1 },
+		func(o *Options) { o.Mesh = -8 },
+		func(o *Options) { o.MaxHalos = -1 },
+		func(o *Options) { o.Halo.LinkingLength = -0.2 },
+	}
+	for i, mutate := range bad {
+		o := testOptions(64)
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestRunMaxHalosCapsEntriesNotCount(t *testing.T) {
+	const box = 64.0
+	set := clusteredSet(42, 600, box)
+	meta := Meta{Name: "cap", Step: 1, A: 0.5, Trigger: Trigger{Kind: TriggerManual, Step: 1}}
+	opt := testOptions(box)
+	full, err := Run(set, meta, opt, Theory{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumHalos < 2 {
+		t.Skipf("fixture found %d halos; cap test needs at least 2", full.NumHalos)
+	}
+	opt.MaxHalos = 1
+	capped, err := Run(set, meta, opt, Theory{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Halos) != 1 {
+		t.Errorf("capped catalog carries %d halo entries, want 1", len(capped.Halos))
+	}
+	if capped.NumHalos != full.NumHalos {
+		t.Errorf("cap changed NumHalos: %d vs %d", capped.NumHalos, full.NumHalos)
+	}
+	if capped.Halos[0] != full.Halos[0] {
+		t.Error("cap changed the leading (most massive) entry")
+	}
+}

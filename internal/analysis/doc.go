@@ -1,0 +1,55 @@
+// Package analysis is the in-situ measurement pipeline of the simulation:
+// scheduled outputs (halo catalogs, mass functions, power spectra) produced
+// while the run advances, from the live particle set, instead of a separate
+// pass over dumped snapshots — the operating mode Warren (2013) treats as
+// integral to the production code.
+//
+// # Schedule contract
+//
+// A Schedule fires on three kinds of trigger: redshift crossings, step
+// cadences and the end of the run.  Crossing detection is stateless — Due
+// decides from (step, zPrev, zCur) alone — which is what makes scheduled
+// outputs compose with checkpoints: a resumed run re-walks the same step
+// grid (anchored at AInit, preserved by checkpoints) and therefore fires on
+// exactly the steps the uninterrupted run fires on, without re-emitting
+// outputs that predate the checkpoint.  Trigger labels are stable across
+// resumes, so a re-emitted file overwrites its earlier self.
+//
+// # When hooks fire, and what state they may read
+//
+// The simulation runs a due analysis after the step that crossed the
+// trigger completes, and after a due synchronize (below) — never mid-step
+// and never mid-block: with block timesteps every particle's position sits
+// on the block boundary when an analysis runs.  The pass reads the live
+// particle set (positions, momenta, masses) and must treat it as read-only;
+// everything it emits is a copy.  Analysis observers run synchronously from
+// the stepping loop in registration order — a slow observer slows the run
+// but cannot corrupt it.
+//
+// # Synchronization policy
+//
+// Positions and canonical momenta are half a leapfrog step apart during a
+// run (per-particle with block timesteps).  Position-only measurements —
+// FOF groups, SO masses, the CIC density and P(k) — are exact either way,
+// but anything built on momenta (velocity statistics, exact energy tallies)
+// is not.  The scheduler therefore synchronizes before measuring when (a)
+// the run's analysis configuration asks for it (Config.Analysis.Synchronize)
+// or (b) the stepper's state cannot be represented at a single momentum
+// epoch (mid-grid block stepping — the same gate checkpoints use), and
+// otherwise measures the trailing state as-is.  The closing kick of a
+// mid-run synchronize restarts the leapfrog at the output epoch: the
+// trajectory afterwards is second-order accurate but not bit-identical to a
+// run without the output — while two runs with the same schedule are
+// bit-identical to each other, which is the invariant the determinism suite
+// pins (across worker counts, transports and checkpoint resume).
+//
+// # Determinism
+//
+// For a given particle order and options the catalog bytes are identical
+// across runs, worker counts and resumes: FOF enumerates groups in lowest-
+// member-index order with deterministic tie-breaks, the SO pass is
+// independent per halo, and the P(k) mode sweep reduces per-k-plane partials
+// in plane order.  Catalog entries never carry in-memory particle indices
+// (member lists), which would differ across rank layouts while the physical
+// catalog does not.
+package analysis

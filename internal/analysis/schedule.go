@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// zSlack absorbs the floating-point error of the step grid's final epoch: a
+// run to z_final = 0 lands within a few ulps of z = 0, and a requested output
+// at exactly z_final must still fire.  The slack is fixed (not derived from
+// the grid), so crossing decisions are deterministic across runs, worker
+// counts and resumes.
+const zSlack = 1e-9
+
+// Schedule describes when in-situ analysis outputs fire during a run.  All
+// three trigger families compose; the zero value never fires.
+type Schedule struct {
+	// Redshifts fire on the first completed step whose redshift reaches the
+	// requested value (crossing detection on the step grid: the step that
+	// moves the state from zPrev > z to zCur <= z).  A redshift above the
+	// grid's starting epoch never fires; one below z_final fires never, one
+	// at z_final fires on the final step.
+	Redshifts []float64
+	// EverySteps fires after every k-th completed step (the cadence
+	// CheckpointEvery uses), counted on the same step grid checkpoints
+	// preserve, so a resumed run fires on exactly the steps the
+	// uninterrupted run would have.
+	EverySteps int
+	// AtEnd fires once after the run's final synchronize.
+	AtEnd bool
+}
+
+// Empty reports whether the schedule can never fire.
+func (s Schedule) Empty() bool {
+	return len(s.Redshifts) == 0 && s.EverySteps <= 0 && !s.AtEnd
+}
+
+// Validate rejects schedules that are not expressible requests.
+func (s Schedule) Validate() error {
+	for _, z := range s.Redshifts {
+		if math.IsNaN(z) || math.IsInf(z, 0) || z < 0 {
+			return fmt.Errorf("analysis: output redshift %g must be finite and >= 0", z)
+		}
+	}
+	if s.EverySteps < 0 {
+		return fmt.Errorf("analysis: every_steps %d must not be negative", s.EverySteps)
+	}
+	return nil
+}
+
+// TriggerKind identifies why an output fired.
+type TriggerKind string
+
+const (
+	// TriggerRedshift is a Schedule.Redshifts crossing.
+	TriggerRedshift TriggerKind = "redshift"
+	// TriggerCadence is a Schedule.EverySteps firing.
+	TriggerCadence TriggerKind = "cadence"
+	// TriggerEnd is the Schedule.AtEnd firing.
+	TriggerEnd TriggerKind = "end"
+	// TriggerManual marks an output requested outside the schedule
+	// (Simulation.Analyze).
+	TriggerManual TriggerKind = "manual"
+)
+
+// Trigger describes one firing of the schedule.
+type Trigger struct {
+	Kind TriggerKind `json:"kind"`
+	// Z is the requested redshift of a TriggerRedshift firing (the state's
+	// actual redshift lands at or just past it; the catalog records both).
+	Z float64 `json:"z,omitempty"`
+	// Step is the completed-step count at which the trigger fired.
+	Step int `json:"step"`
+}
+
+// Label is the file-name stem of the trigger — stable across runs and
+// resumes, so a re-emitted output overwrites its earlier self instead of
+// accumulating duplicates.
+func (t Trigger) Label() string {
+	switch t.Kind {
+	case TriggerRedshift:
+		return fmt.Sprintf("z%.4g", t.Z)
+	case TriggerCadence:
+		return fmt.Sprintf("step%05d", t.Step)
+	case TriggerEnd:
+		return "final"
+	default:
+		return fmt.Sprintf("manual%05d", t.Step)
+	}
+}
+
+// Due returns the triggers that fire on the completed step that moved the
+// state from redshift zPrev to zCur (zCur <= zPrev on an expanding grid) and
+// left the completed-step count at step.  The decision depends only on its
+// arguments — the schedule keeps no cursor — so a run resumed from a
+// checkpoint fires on exactly the steps the uninterrupted run fires on from
+// that point, and never re-fires crossings that predate the checkpoint.
+// Triggers are returned in a deterministic order: redshift crossings in
+// decreasing z (the order they are reached), then the cadence firing.
+func (s Schedule) Due(step int, zPrev, zCur float64) []Trigger {
+	var due []Trigger
+	for _, z := range s.Redshifts {
+		if zCur <= z+zSlack && z+zSlack < zPrev {
+			due = append(due, Trigger{Kind: TriggerRedshift, Z: z, Step: step})
+		}
+	}
+	sort.SliceStable(due, func(i, j int) bool { return due[i].Z > due[j].Z })
+	if s.EverySteps > 0 && step > 0 && step%s.EverySteps == 0 {
+		due = append(due, Trigger{Kind: TriggerCadence, Step: step})
+	}
+	return due
+}
+
+// End returns the AtEnd trigger for the run's final state, or nil when the
+// schedule does not request one.
+func (s Schedule) End(step int) []Trigger {
+	if !s.AtEnd {
+		return nil
+	}
+	return []Trigger{{Kind: TriggerEnd, Step: step}}
+}

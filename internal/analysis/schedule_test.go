@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// zGrid builds the redshift sequence of an NSteps logarithmic step grid from
+// zInit to zFinal — the same grid Simulation.Run walks.
+func zGrid(zInit, zFinal float64, nSteps int) []float64 {
+	aInit := 1 / (1 + zInit)
+	aFinal := 1 / (1 + zFinal)
+	dlnA := math.Log(aFinal/aInit) / float64(nSteps)
+	zs := make([]float64, nSteps+1)
+	for i := 0; i <= nSteps; i++ {
+		zs[i] = 1/(aInit*math.Exp(float64(i)*dlnA)) - 1
+	}
+	return zs
+}
+
+// walk collects every trigger a schedule fires over a step grid, starting
+// after completed step `from` (0 = the whole run).
+func walk(s Schedule, zs []float64, from int) []Trigger {
+	var fired []Trigger
+	for stp := from + 1; stp < len(zs); stp++ {
+		fired = append(fired, s.Due(stp, zs[stp-1], zs[stp])...)
+	}
+	return fired
+}
+
+func TestScheduleRedshiftCrossingsFireExactlyOnce(t *testing.T) {
+	zs := zGrid(24, 0, 16)
+	s := Schedule{Redshifts: []float64{10, 2, 0.5, 0}}
+	fired := walk(s, zs, 0)
+	if len(fired) != len(s.Redshifts) {
+		t.Fatalf("fired %d triggers, want %d: %+v", len(fired), len(s.Redshifts), fired)
+	}
+	seen := map[float64]Trigger{}
+	for _, trig := range fired {
+		if trig.Kind != TriggerRedshift {
+			t.Errorf("trigger kind %q, want redshift", trig.Kind)
+		}
+		if _, dup := seen[trig.Z]; dup {
+			t.Errorf("redshift %g fired twice", trig.Z)
+		}
+		seen[trig.Z] = trig
+	}
+	// Each firing must land on the step that crossed the request: the state
+	// at the firing step is at or below the requested z, the prior above.
+	for _, z := range s.Redshifts {
+		trig, ok := seen[z]
+		if !ok {
+			t.Fatalf("redshift %g never fired", z)
+		}
+		if zs[trig.Step] > z+zSlack || zs[trig.Step-1] <= z {
+			t.Errorf("z=%g fired at step %d (z %g -> %g); not a crossing",
+				z, trig.Step, zs[trig.Step-1], zs[trig.Step])
+		}
+	}
+}
+
+func TestScheduleFinalRedshiftFiresWithinSlack(t *testing.T) {
+	// A run to z_final = 0 lands within a few ulps of 0; an output requested
+	// at exactly 0 must still fire on the final step.
+	zs := zGrid(24, 0, 8)
+	fired := walk(Schedule{Redshifts: []float64{0}}, zs, 0)
+	if len(fired) != 1 || fired[0].Step != 8 {
+		t.Fatalf("z=0 fired %+v, want once at the final step", fired)
+	}
+}
+
+func TestScheduleOutOfRangeRedshiftNeverFires(t *testing.T) {
+	zs := zGrid(24, 1, 8)
+	fired := walk(Schedule{Redshifts: []float64{30, 24, 0.5}}, zs, 0)
+	if len(fired) != 0 {
+		t.Fatalf("out-of-range redshifts fired: %+v", fired)
+	}
+}
+
+func TestScheduleCadence(t *testing.T) {
+	zs := zGrid(24, 0, 12)
+	fired := walk(Schedule{EverySteps: 4}, zs, 0)
+	if len(fired) != 3 {
+		t.Fatalf("cadence fired %d times, want 3: %+v", len(fired), fired)
+	}
+	for i, trig := range fired {
+		if trig.Kind != TriggerCadence || trig.Step != 4*(i+1) {
+			t.Errorf("firing %d = %+v, want cadence at step %d", i, trig, 4*(i+1))
+		}
+	}
+}
+
+// TestScheduleResumeFiresSameSuffix is the statelessness contract: a run
+// resumed from a mid-grid checkpoint fires on exactly the steps the
+// uninterrupted run fires on from that point, without re-firing earlier
+// triggers.
+func TestScheduleResumeFiresSameSuffix(t *testing.T) {
+	zs := zGrid(24, 0, 16)
+	s := Schedule{Redshifts: []float64{10, 2, 0.5}, EverySteps: 5}
+	full := walk(s, zs, 0)
+	for from := 1; from < 16; from++ {
+		resumed := walk(s, zs, from)
+		// The resumed sequence must equal the suffix of the full sequence
+		// with Step > from.
+		var want []Trigger
+		for _, trig := range full {
+			if trig.Step > from {
+				want = append(want, trig)
+			}
+		}
+		if len(resumed) != len(want) {
+			t.Fatalf("resume from step %d fired %d triggers, want %d", from, len(resumed), len(want))
+		}
+		for i := range want {
+			if resumed[i] != want[i] {
+				t.Fatalf("resume from step %d: firing %d = %+v, want %+v", from, i, resumed[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScheduleEmptyAndEnd(t *testing.T) {
+	var s Schedule
+	if !s.Empty() {
+		t.Error("zero schedule not Empty")
+	}
+	if got := s.End(7); got != nil {
+		t.Errorf("End on AtEnd=false = %+v, want nil", got)
+	}
+	s.AtEnd = true
+	if s.Empty() {
+		t.Error("AtEnd schedule reported Empty")
+	}
+	end := s.End(7)
+	if len(end) != 1 || end[0].Kind != TriggerEnd || end[0].Step != 7 {
+		t.Errorf("End = %+v, want one end trigger at step 7", end)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{Redshifts: []float64{math.NaN()}}).Validate(); err == nil {
+		t.Error("NaN redshift accepted")
+	}
+	if err := (Schedule{Redshifts: []float64{-1}}).Validate(); err == nil {
+		t.Error("negative redshift accepted")
+	}
+	if err := (Schedule{EverySteps: -2}).Validate(); err == nil {
+		t.Error("negative cadence accepted")
+	}
+	if err := (Schedule{Redshifts: []float64{3, 0}, EverySteps: 4, AtEnd: true}).Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestTriggerLabelsStable(t *testing.T) {
+	cases := []struct {
+		trig Trigger
+		want string
+	}{
+		{Trigger{Kind: TriggerRedshift, Z: 0.5, Step: 9}, "z0.5"},
+		{Trigger{Kind: TriggerRedshift, Z: 0, Step: 16}, "z0"},
+		{Trigger{Kind: TriggerCadence, Step: 12}, "step00012"},
+		{Trigger{Kind: TriggerEnd, Step: 16}, "final"},
+		{Trigger{Kind: TriggerManual, Step: 3}, "manual00003"},
+	}
+	for _, tc := range cases {
+		if got := tc.trig.Label(); got != tc.want {
+			t.Errorf("Label(%+v) = %q, want %q", tc.trig, got, tc.want)
+		}
+	}
+}

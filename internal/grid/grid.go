@@ -7,6 +7,8 @@ package grid
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"twohot/internal/fft"
 	"twohot/internal/vec"
@@ -155,6 +157,12 @@ type PowerSpectrumOptions struct {
 	LogarithmicK   bool    // logarithmic binning (default linear in k)
 	KMin, KMax     float64 // bin range; defaults to fundamental..Nyquist
 	InterlaceAlias bool    // reserved; not implemented
+	// Workers bounds the goroutines of the mode-binning sweep (0 =
+	// GOMAXPROCS).  Each i-plane of k space is accumulated into its own
+	// partial bins and the partials are reduced in plane order, so the
+	// floating-point sums — and therefore the emitted spectra — are
+	// bit-identical for every worker count.
+	Workers int
 }
 
 // MeasurePower estimates the power spectrum of the density contrast held in
@@ -187,42 +195,80 @@ func (m *Mesh) MeasurePower(opt PowerSpectrumOptions) []PowerSpectrumResult {
 		return int(float64(opt.NBins) * (k - opt.KMin) / (opt.KMax - opt.KMin))
 	}
 
-	sumP := make([]float64, opt.NBins)
-	sumK := make([]float64, opt.NBins)
-	cnt := make([]int, opt.NBins)
-
 	vol := l * l * l
 	norm := vol / float64(n*n*n) / float64(n*n*n) // V |delta_k|^2 / N^6
 
-	for i := 0; i < n; i++ {
-		ki := float64(fft.FreqIndex(i, n)) * kf
-		for j := 0; j < n; j++ {
-			kj := float64(fft.FreqIndex(j, n)) * kf
-			for k := 0; k < n; k++ {
-				if i == 0 && j == 0 && k == 0 {
-					continue
-				}
-				kk := float64(fft.FreqIndex(k, n)) * kf
-				kmag := math.Sqrt(ki*ki + kj*kj + kk*kk)
-				b := binOf(kmag)
-				if b < 0 || b >= opt.NBins {
-					continue
-				}
-				c := g.At(i, j, k)
-				p := (real(c)*real(c) + imag(c)*imag(c)) * norm
-				if opt.DeconvolveCIC {
-					w := cicWindow(ki, kj, kk, l, n)
-					if w > 1e-8 {
-						p /= w * w
+	// Per-plane partial bins, filled concurrently (each i-plane is written by
+	// exactly one worker) and reduced sequentially in plane order below, so
+	// the bin sums carry the same floating-point association for every
+	// worker count.
+	planeP := make([][]float64, n)
+	planeK := make([][]float64, n)
+	planeCnt := make([][]int, n)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	planes := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range planes {
+				sumP := make([]float64, opt.NBins)
+				sumK := make([]float64, opt.NBins)
+				cnt := make([]int, opt.NBins)
+				ki := float64(fft.FreqIndex(i, n)) * kf
+				for j := 0; j < n; j++ {
+					kj := float64(fft.FreqIndex(j, n)) * kf
+					for k := 0; k < n; k++ {
+						if i == 0 && j == 0 && k == 0 {
+							continue
+						}
+						kk := float64(fft.FreqIndex(k, n)) * kf
+						kmag := math.Sqrt(ki*ki + kj*kj + kk*kk)
+						b := binOf(kmag)
+						if b < 0 || b >= opt.NBins {
+							continue
+						}
+						c := g.At(i, j, k)
+						p := (real(c)*real(c) + imag(c)*imag(c)) * norm
+						if opt.DeconvolveCIC {
+							w := cicWindow(ki, kj, kk, l, n)
+							if w > 1e-8 {
+								p /= w * w
+							}
+						}
+						if opt.SubtractShot && opt.NumParticles > 0 {
+							p -= vol / float64(opt.NumParticles)
+						}
+						sumP[b] += p
+						sumK[b] += kmag
+						cnt[b]++
 					}
 				}
-				if opt.SubtractShot && opt.NumParticles > 0 {
-					p -= vol / float64(opt.NumParticles)
-				}
-				sumP[b] += p
-				sumK[b] += kmag
-				cnt[b]++
+				planeP[i], planeK[i], planeCnt[i] = sumP, sumK, cnt
 			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		planes <- i
+	}
+	close(planes)
+	wg.Wait()
+
+	sumP := make([]float64, opt.NBins)
+	sumK := make([]float64, opt.NBins)
+	cnt := make([]int, opt.NBins)
+	for i := 0; i < n; i++ {
+		for b := 0; b < opt.NBins; b++ {
+			sumP[b] += planeP[i][b]
+			sumK[b] += planeK[i][b]
+			cnt[b] += planeCnt[i][b]
 		}
 	}
 

@@ -1,0 +1,152 @@
+package halo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"twohot/internal/vec"
+)
+
+// TestFOFLinksAcrossPeriodicWrap plants one clump straddling a box corner:
+// the finder must link its pieces across all three wrapped faces into a
+// single group and report an in-box center consistent with the planted one.
+func TestFOFLinksAcrossPeriodicWrap(t *testing.T) {
+	const box = 50.0
+	rng := rand.New(rand.NewSource(9))
+	center := vec.V3{0.002 * box, 0.998 * box, 0.001 * box}
+	var pos []vec.V3
+	for i := 0; i < 400; i++ {
+		pos = append(pos, vec.WrapV(vec.V3{
+			center[0] + 0.008*box*rng.NormFloat64(),
+			center[1] + 0.008*box*rng.NormFloat64(),
+			center[2] + 0.008*box*rng.NormFloat64(),
+		}, box))
+	}
+	mass := make([]float64, len(pos))
+	for i := range mass {
+		mass[i] = 1
+	}
+	halos := FOF(pos, mass, Options{BoxSize: box, MinMembers: 50})
+	if len(halos) != 1 {
+		t.Fatalf("corner clump split into %d groups; the wrap did not link", len(halos))
+	}
+	if halos[0].N != len(pos) {
+		t.Errorf("group holds %d of %d particles", halos[0].N, len(pos))
+	}
+	for _, c := range [...]vec.V3{halos[0].Center, halos[0].CenterOfM} {
+		for k := 0; k < 3; k++ {
+			if c[k] < 0 || c[k] >= box {
+				t.Fatalf("center %v outside the box", c)
+			}
+		}
+		if d := vec.MinImageV(c.Sub(center), box).Norm(); d > 2 {
+			t.Errorf("center %v is %.2f Mpc/h from the planted corner clump", c, d)
+		}
+	}
+}
+
+// TestFindersDeterministicAcrossWorkers pins the bit-determinism contract the
+// in-situ analysis catalogs rely on: the FOF output and the parallel SO pass
+// must be identical — field for field, in order — for every worker count.
+func TestFindersDeterministicAcrossWorkers(t *testing.T) {
+	pos, mass, _ := mockUniverse(4, 150, 800, 80, 5)
+	var ref []Halo
+	for _, workers := range []int{1, 2, 3, 8} {
+		opt := Options{BoxSize: 80, MinMembers: 20, Workers: workers}
+		halos := FOF(pos, mass, opt)
+		SphericalOverdensity(pos, mass, halos, opt)
+		if ref == nil {
+			ref = halos
+			if len(ref) < 2 {
+				t.Fatalf("fixture found %d halos; determinism check needs a few", len(ref))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(ref, halos) {
+			t.Fatalf("catalog differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestFOFEqualMassTieBreakDeterministic plants two identical-count clumps of
+// unit-mass particles (equal FOF mass) and checks the documented tie-break:
+// equal mass and equal N order by lowest member index, which is unique.
+func TestFOFEqualMassTieBreakDeterministic(t *testing.T) {
+	const box = 40.0
+	var pos []vec.V3
+	add := func(c vec.V3) {
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 60; i++ {
+			pos = append(pos, vec.WrapV(vec.V3{
+				c[0] + 0.05*rng.NormFloat64(),
+				c[1] + 0.05*rng.NormFloat64(),
+				c[2] + 0.05*rng.NormFloat64(),
+			}, box))
+		}
+	}
+	add(vec.V3{10, 10, 10})
+	add(vec.V3{30, 30, 30}) // same seed: identical shape, so identical N and mass
+	mass := make([]float64, len(pos))
+	for i := range mass {
+		mass[i] = 1
+	}
+	opt := Options{BoxSize: box, MinMembers: 10}
+	ref := FOF(pos, mass, opt)
+	if len(ref) != 2 || ref[0].Mass != ref[1].Mass || ref[0].N != ref[1].N {
+		t.Fatalf("fixture did not produce an exact tie: %+v", ref)
+	}
+	if ref[0].ID >= ref[1].ID {
+		t.Errorf("tie not broken by ascending halo ID: %d then %d", ref[0].ID, ref[1].ID)
+	}
+	for i := 0; i < 5; i++ {
+		if got := FOF(pos, mass, opt); !reflect.DeepEqual(ref, got) {
+			t.Fatal("tied catalog order varies between runs")
+		}
+	}
+}
+
+// TestOptionsValidateAndDefaults covers the unset-vs-explicit-zero audit:
+// zero means the documented default, negative and non-finite values are
+// rejected by Validate, and the finders degrade out-of-range values to the
+// defaults instead of misbehaving.
+func TestOptionsValidateAndDefaults(t *testing.T) {
+	ok := Options{BoxSize: 64}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("zero-value options rejected: %v", err)
+	}
+	bad := []Options{
+		{BoxSize: -1},
+		{BoxSize: 64, LinkingLength: -0.2},
+		{BoxSize: 64, LinkingLength: math.NaN()},
+		{BoxSize: 64, MinMembers: -1},
+		{BoxSize: 64, OverdensityB: -200},
+		{BoxSize: 64, OverdensityB: math.Inf(1)},
+		{BoxSize: 64, Workers: -2},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad options %d accepted: %+v", i, o)
+		}
+	}
+
+	// Zero linking length means b=0.2, not "link nothing": the finder over a
+	// planted clump must behave identically to an explicit 0.2.
+	pos, mass, _ := mockUniverse(2, 120, 200, 50, 7)
+	def := FOF(pos, mass, Options{BoxSize: 50, MinMembers: 20})
+	exp := FOF(pos, mass, Options{BoxSize: 50, MinMembers: 20, LinkingLength: 0.2})
+	if !reflect.DeepEqual(def, exp) {
+		t.Error("LinkingLength 0 is not the documented default 0.2")
+	}
+	// MinMembers 1 must be honored as "no cut" (every particle is a group),
+	// distinct from 0 = default 20.
+	nocut := FOF(pos, mass, Options{BoxSize: 50, MinMembers: 1})
+	total := 0
+	for _, h := range nocut {
+		total += h.N
+	}
+	if total != len(pos) {
+		t.Errorf("MinMembers 1 kept %d of %d particles; want all (no cut)", total, len(pos))
+	}
+}

@@ -6,8 +6,11 @@
 package halo
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"twohot/internal/vec"
 )
@@ -25,12 +28,49 @@ type Halo struct {
 }
 
 // Options configures the finders.
+//
+// Zero-value semantics: for LinkingLength, MinMembers and OverdensityB the
+// zero value means "use the default" (0.2, 20 and 200 respectively), not an
+// explicit zero — a plain struct field cannot distinguish the two.  An
+// explicit zero would be meaningless anyway: a zero linking length links
+// nothing and a zero overdensity threshold is unreachable, so no information
+// is lost.  The one real request the sentinel could shadow — "no membership
+// threshold" — is expressed as MinMembers = 1 (every FOF group has at least
+// one member, so 1 disables the cut exactly).  Negative values are never
+// defaults and never valid; Validate rejects them, and the finders apply it.
 type Options struct {
 	BoxSize       float64 // periodic box size (0 = non-periodic)
-	LinkingLength float64 // FOF linking length in units of the mean interparticle separation (default 0.2)
-	MinMembers    int     // minimum FOF membership (default 20)
+	LinkingLength float64 // FOF linking length in units of the mean interparticle separation (0 = default 0.2)
+	MinMembers    int     // minimum FOF membership (0 = default 20; 1 disables the cut)
 	KeepMembers   bool
-	OverdensityB  float64 // SO overdensity with respect to the mean (default 200)
+	OverdensityB  float64 // SO overdensity with respect to the mean density (0 = default 200)
+	// Workers bounds the goroutines of the parallel finders (currently the
+	// spherical-overdensity pass, which is independent per halo).  0 means
+	// GOMAXPROCS.  Results are bit-identical for every worker count.
+	Workers int
+}
+
+// Validate rejects option values that are not expressible requests: negative
+// or NaN lengths and thresholds, negative worker counts.  The zero value (and
+// any mix of zero fields) is always valid — zeros mean defaults, as
+// documented on the struct.
+func (o Options) Validate() error {
+	if o.BoxSize < 0 || math.IsNaN(o.BoxSize) || math.IsInf(o.BoxSize, 0) {
+		return fmt.Errorf("halo: box size %g must be finite and >= 0 (0 = non-periodic)", o.BoxSize)
+	}
+	if o.LinkingLength < 0 || math.IsNaN(o.LinkingLength) || math.IsInf(o.LinkingLength, 0) {
+		return fmt.Errorf("halo: linking length %g must be finite and >= 0 (0 = default 0.2)", o.LinkingLength)
+	}
+	if o.MinMembers < 0 {
+		return fmt.Errorf("halo: min members %d must be >= 0 (0 = default 20, 1 = no cut)", o.MinMembers)
+	}
+	if o.OverdensityB < 0 || math.IsNaN(o.OverdensityB) || math.IsInf(o.OverdensityB, 0) {
+		return fmt.Errorf("halo: overdensity %g must be finite and >= 0 (0 = default 200)", o.OverdensityB)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("halo: workers %d must be >= 0 (0 = GOMAXPROCS)", o.Workers)
+	}
+	return nil
 }
 
 func (o *Options) defaults(n int) {
@@ -42,6 +82,25 @@ func (o *Options) defaults(n int) {
 	}
 	if o.OverdensityB == 0 {
 		o.OverdensityB = 200
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	// Out-of-range values degrade to the defaults as well, so the finders
+	// (which cannot return an error) stay total; callers that want the
+	// failure surfaced run Validate first — the simulation's configuration
+	// path does.
+	if o.LinkingLength < 0 || math.IsNaN(o.LinkingLength) {
+		o.LinkingLength = 0.2
+	}
+	if o.MinMembers < 0 {
+		o.MinMembers = 20
+	}
+	if o.OverdensityB < 0 || math.IsNaN(o.OverdensityB) {
+		o.OverdensityB = 200
+	}
+	if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -84,6 +143,13 @@ func (u *unionFind) union(a, b int32) {
 // FOF runs the friends-of-friends finder and returns halos above the
 // membership threshold, sorted by decreasing mass.  mass may be nil for equal
 // mass particles (mass 1 each).
+//
+// The catalog is deterministic: groups are enumerated in order of their
+// lowest member index and the final sort breaks mass ties (common with
+// equal-mass particles) by member count and then by that first-member index,
+// so two runs over the same particle order produce byte-identical catalogs —
+// the invariant the in-situ analysis determinism suite pins across worker
+// counts and checkpoint-resume boundaries.
 func FOF(pos []vec.V3, mass []float64, opt Options) []Halo {
 	n := len(pos)
 	opt.defaults(n)
@@ -166,20 +232,29 @@ func FOF(pos []vec.V3, mass []float64, opt Options) []Halo {
 		}
 	}
 
-	// Collect groups.
-	groups := map[int32][]int{}
+	// Collect groups in first-seen (lowest member index) order — a map
+	// iteration here would make the catalog order run-to-run random.
+	slot := map[int32]int{}
+	var groups [][]int
 	for i := 0; i < n; i++ {
 		r := uf.find(int32(i))
-		groups[r] = append(groups[r], i)
+		gi, ok := slot[r]
+		if !ok {
+			gi = len(groups)
+			slot[r] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
 	}
 	var halos []Halo
-	id := 0
 	for _, members := range groups {
 		if len(members) < opt.MinMembers {
 			continue
 		}
-		h := Halo{ID: id, N: len(members)}
-		id++
+		// ID temporarily holds the lowest member index (members ascend by
+		// construction): the deterministic tie-break of the sort below.
+		// Final IDs are assigned after sorting.
+		h := Halo{ID: members[0], N: len(members)}
 		ref := pos[members[0]]
 		var com vec.V3
 		for _, m := range members {
@@ -205,7 +280,16 @@ func FOF(pos []vec.V3, mass []float64, opt Options) []Halo {
 		}
 		halos = append(halos, h)
 	}
-	sort.Slice(halos, func(i, j int) bool { return halos[i].Mass > halos[j].Mass })
+	sort.Slice(halos, func(i, j int) bool {
+		a, b := &halos[i], &halos[j]
+		if a.Mass != b.Mass {
+			return a.Mass > b.Mass
+		}
+		if a.N != b.N {
+			return a.N > b.N
+		}
+		return a.ID < b.ID // lowest member index: unique per group
+	})
 	for i := range halos {
 		halos[i].ID = i
 	}
@@ -256,7 +340,10 @@ func densestMember(pos []vec.V3, members []int, boxSize float64) vec.V3 {
 }
 
 // SphericalOverdensity fills in M200b/R200b for each halo by growing spheres
-// about the halo centers over the full particle set.
+// about the halo centers over the full particle set.  Each halo's sphere is
+// independent of every other, so the pass runs on Options.Workers goroutines;
+// a halo's mass depends only on its own candidate gather and sort, so the
+// results are bit-identical for every worker count.
 func SphericalOverdensity(pos []vec.V3, mass []float64, halos []Halo, opt Options) {
 	n := len(pos)
 	opt.defaults(n)
@@ -311,59 +398,84 @@ func SphericalOverdensity(pos []vec.V3, mass []float64, halos []Halo, opt Option
 	}
 	cellSide := l / float64(nc)
 
+	workers := opt.Workers
+	if workers > len(halos) {
+		workers = len(halos)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for hi := range work {
+				soForHalo(&halos[hi], pos, mass, opt, l, target, heads, next, cellOf, nc, cellSide)
+			}
+		}()
+	}
 	for hi := range halos {
-		h := &halos[hi]
-		// Gather particles within an expanding set of cells until the mean
-		// enclosed density drops below the target.
-		maxR := 3.0 * math.Cbrt(h.Mass/(4.0/3.0*math.Pi*target))
-		reach := int(maxR/cellSide) + 1
-		ci, cj, ck := cellOf(h.Center)
-		type pr struct{ r2, m float64 }
-		var cand []pr
-		for di := -reach; di <= reach; di++ {
-			for dj := -reach; dj <= reach; dj++ {
-				for dk := -reach; dk <= reach; dk++ {
-					ni, nj, nk := ci+di, cj+dj, ck+dk
+		work <- hi
+	}
+	close(work)
+	wg.Wait()
+}
+
+// soForHalo grows the spherical-overdensity sphere of one halo: gather the
+// candidate particles within an expanding set of cells, sort by radius, and
+// walk outward until the mean enclosed density drops below the target.
+func soForHalo(h *Halo, pos []vec.V3, mass []float64, opt Options, l, target float64,
+	heads, next []int32, cellOf func(vec.V3) (int, int, int), nc int, cellSide float64) {
+	maxR := 3.0 * math.Cbrt(h.Mass/(4.0/3.0*math.Pi*target))
+	reach := int(maxR/cellSide) + 1
+	ci, cj, ck := cellOf(h.Center)
+	type pr struct{ r2, m float64 }
+	var cand []pr
+	for di := -reach; di <= reach; di++ {
+		for dj := -reach; dj <= reach; dj++ {
+			for dk := -reach; dk <= reach; dk++ {
+				ni, nj, nk := ci+di, cj+dj, ck+dk
+				if opt.BoxSize > 0 {
+					ni, nj, nk = ((ni%nc)+nc)%nc, ((nj%nc)+nc)%nc, ((nk%nc)+nc)%nc
+				} else if ni < 0 || nj < 0 || nk < 0 || ni >= nc || nj >= nc || nk >= nc {
+					continue
+				}
+				for j := heads[(ni*nc+nj)*nc+nk]; j >= 0; j = next[j] {
+					d := pos[j].Sub(h.Center)
 					if opt.BoxSize > 0 {
-						ni, nj, nk = ((ni%nc)+nc)%nc, ((nj%nc)+nc)%nc, ((nk%nc)+nc)%nc
-					} else if ni < 0 || nj < 0 || nk < 0 || ni >= nc || nj >= nc || nk >= nc {
+						d = vec.MinImageV(d, opt.BoxSize)
+					}
+					r2 := d.Norm2()
+					if r2 > maxR*maxR {
 						continue
 					}
-					for j := heads[(ni*nc+nj)*nc+nk]; j >= 0; j = next[j] {
-						d := pos[j].Sub(h.Center)
-						if opt.BoxSize > 0 {
-							d = vec.MinImageV(d, opt.BoxSize)
-						}
-						r2 := d.Norm2()
-						if r2 > maxR*maxR {
-							continue
-						}
-						mm := 1.0
-						if mass != nil {
-							mm = mass[j]
-						}
-						cand = append(cand, pr{r2, mm})
+					mm := 1.0
+					if mass != nil {
+						mm = mass[j]
 					}
+					cand = append(cand, pr{r2, mm})
 				}
 			}
 		}
-		sort.Slice(cand, func(a, b int) bool { return cand[a].r2 < cand[b].r2 })
-		enclosed := 0.0
-		r200 := 0.0
-		m200 := 0.0
-		for _, c := range cand {
-			enclosed += c.m
-			r := math.Sqrt(c.r2)
-			if r <= 0 {
-				continue
-			}
-			vol := 4.0 / 3.0 * math.Pi * r * r * r
-			if enclosed/vol >= target {
-				r200 = r
-				m200 = enclosed
-			}
-		}
-		h.R200b = r200
-		h.M200b = m200
 	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a].r2 < cand[b].r2 })
+	enclosed := 0.0
+	r200 := 0.0
+	m200 := 0.0
+	for _, c := range cand {
+		enclosed += c.m
+		r := math.Sqrt(c.r2)
+		if r <= 0 {
+			continue
+		}
+		vol := 4.0 / 3.0 * math.Pi * r * r * r
+		if enclosed/vol >= target {
+			r200 = r
+			m200 = enclosed
+		}
+	}
+	h.R200b = r200
+	h.M200b = m200
 }

@@ -40,9 +40,18 @@ func Measure(masses []float64, boxSize float64, mMin, mMax float64, nBins int) [
 			continue
 		}
 		b := int(math.Log(m/mMin) / dln)
-		if b >= 0 && b < nBins {
-			bins[b].Count++
+		// The log/divide can round a mass just under an edge into the next
+		// bin — including one past the last for m just below mMax.  Clamp
+		// instead of dropping: every mass in [mMin, mMax) lands in exactly
+		// one bin, so the bin counts always sum to the in-range mass count
+		// (the partition property the property tests pin).
+		if b < 0 {
+			b = 0
 		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		bins[b].Count++
 	}
 	for i := range bins {
 		bins[i].NDensity = float64(bins[i].Count) / vol / dln

@@ -1,0 +1,144 @@
+package massfunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMeasurePartitionProperty drives Measure over seeded random mass samples
+// and bin layouts and checks the binning invariants the analysis catalogs
+// rely on:
+//
+//   - the bin edges partition [mMin, mMax): contiguous, increasing, first
+//     edge at mMin, last within rounding of mMax;
+//   - every mass in [mMin, mMax) lands in exactly one bin, so the counts sum
+//     to the in-range sample count even when log/divide rounding pushes a
+//     mass against a bin edge;
+//   - NDensity and Poisson are consistent with the counts, and Poisson is
+//     never negative (zero only for empty bins).
+func TestMeasurePartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		nBins := 1 + rng.Intn(24)
+		mMin := math.Exp(rng.Float64()*8 - 2)
+		mMax := mMin * math.Exp(0.1+rng.Float64()*6)
+		boxSize := 10 + rng.Float64()*200
+
+		n := rng.Intn(500)
+		masses := make([]float64, n)
+		inRange := 0
+		for i := range masses {
+			// Spread samples a little beyond the range so the out-of-range
+			// rejection is exercised, and place a fraction exactly on edges.
+			m := mMin * math.Exp((rng.Float64()*1.2-0.1)*math.Log(mMax/mMin))
+			if rng.Intn(10) == 0 {
+				dln := math.Log(mMax/mMin) / float64(nBins)
+				m = mMin * math.Exp(float64(rng.Intn(nBins+1))*dln)
+			}
+			masses[i] = m
+			if m >= mMin && m < mMax {
+				inRange++
+			}
+		}
+
+		bins := Measure(masses, boxSize, mMin, mMax, nBins)
+		if len(bins) != nBins {
+			t.Fatalf("trial %d: got %d bins, want %d", trial, len(bins), nBins)
+		}
+
+		if bins[0].MLo != mMin {
+			t.Fatalf("trial %d: first edge %g, want mMin %g", trial, bins[0].MLo, mMin)
+		}
+		for i, b := range bins {
+			if !(b.MLo < b.MHi) {
+				t.Fatalf("trial %d: bin %d not increasing: [%g, %g)", trial, i, b.MLo, b.MHi)
+			}
+			if i > 0 && b.MLo != bins[i-1].MHi {
+				t.Fatalf("trial %d: gap between bin %d and %d: %g vs %g",
+					trial, i-1, i, bins[i-1].MHi, b.MLo)
+			}
+			if c := math.Sqrt(b.MLo * b.MHi); math.Abs(c-b.MCenter) > 1e-9*c {
+				t.Fatalf("trial %d: bin %d center %g, want geometric %g", trial, i, b.MCenter, c)
+			}
+		}
+		if last := bins[nBins-1].MHi; math.Abs(last-mMax) > 1e-9*mMax {
+			t.Fatalf("trial %d: last edge %g, want mMax %g", trial, last, mMax)
+		}
+
+		total := 0
+		vol := boxSize * boxSize * boxSize
+		dln := math.Log(mMax/mMin) / float64(nBins)
+		for i, b := range bins {
+			total += b.Count
+			if b.Count < 0 {
+				t.Fatalf("trial %d: negative count in bin %d", trial, i)
+			}
+			wantN := float64(b.Count) / vol / dln
+			if math.Abs(b.NDensity-wantN) > 1e-12*math.Max(wantN, 1) {
+				t.Fatalf("trial %d: bin %d NDensity %g, want %g", trial, i, b.NDensity, wantN)
+			}
+			wantP := math.Sqrt(float64(b.Count)) / vol / dln
+			if b.Poisson < 0 || math.Abs(b.Poisson-wantP) > 1e-12*math.Max(wantP, 1) {
+				t.Fatalf("trial %d: bin %d Poisson %g, want %g", trial, i, b.Poisson, wantP)
+			}
+			if b.Count > 0 && b.Poisson <= 0 {
+				t.Fatalf("trial %d: bin %d has %d counts but Poisson %g", trial, i, b.Count, b.Poisson)
+			}
+		}
+		if total != inRange {
+			t.Fatalf("trial %d: counts sum to %d, want %d in-range masses (nBins=%d, range [%g, %g))",
+				trial, total, inRange, nBins, mMin, mMax)
+		}
+	}
+}
+
+// TestMeasureEdgeMassNeverDropped pins the rounding fix directly: a mass an
+// ulp below a bin edge must not fall out of the histogram.
+func TestMeasureEdgeMassNeverDropped(t *testing.T) {
+	const mMin, mMax, nBins = 1.0, 1024.0, 10
+	dln := math.Log(mMax/mMin) / nBins
+	var masses []float64
+	for i := 0; i <= nBins; i++ {
+		edge := mMin * math.Exp(float64(i)*dln)
+		masses = append(masses,
+			math.Nextafter(edge, 0),           // just below
+			edge,                              // exact
+			math.Nextafter(edge, math.Inf(1))) // just above
+	}
+	inRange := 0
+	for _, m := range masses {
+		if m >= mMin && m < mMax {
+			inRange++
+		}
+	}
+	bins := Measure(masses, 100, mMin, mMax, nBins)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != inRange {
+		t.Fatalf("edge masses: counts sum to %d, want %d", total, inRange)
+	}
+}
+
+func TestMeasureDegenerateInputs(t *testing.T) {
+	if bins := Measure([]float64{1, 2}, 100, 5, 5, 4); bins != nil {
+		t.Error("mMax == mMin must return nil")
+	}
+	if bins := Measure([]float64{1, 2}, 100, 5, 1, 4); bins != nil {
+		t.Error("mMax < mMin must return nil")
+	}
+	if bins := Measure(nil, 100, 1, 10, 0); bins != nil {
+		t.Error("nBins < 1 must return nil")
+	}
+	bins := Measure(nil, 100, 1, 10, 3)
+	if len(bins) != 3 {
+		t.Fatal("empty sample must still return the requested empty bins")
+	}
+	for _, b := range bins {
+		if b.Count != 0 || b.NDensity != 0 || b.Poisson != 0 {
+			t.Error("empty sample produced nonzero bin statistics")
+		}
+	}
+}

@@ -83,6 +83,17 @@ type Snapshot struct {
 // once complete.  A crash at any point leaves either the previous checkpoint
 // or the new one — never a half-written file under the checkpoint's name.
 func Write(path string, s *Snapshot) error {
+	return WriteAtomic(path, func(f *os.File) error { return writeSnapshot(f, s) })
+}
+
+// WriteAtomic runs fill against a temporary file in path's directory and
+// atomically renames it into place, with the same crash discipline Write
+// gives snapshots: the data is fsynced before the rename and the directory
+// entry after it, and the temporary is removed on any failure.  It is the
+// write path for every file the simulation emits — snapshots, checkpoints
+// and in-situ analysis catalogs — so a crash mid-write never leaves a
+// half-written file under the final name.
+func WriteAtomic(path string, fill func(f *os.File) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -94,7 +105,7 @@ func Write(path string, s *Snapshot) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := writeSnapshot(f, s); err != nil {
+	if err := fill(f); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {

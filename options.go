@@ -28,3 +28,10 @@ func WithObserver(obs ...Observer) Option {
 func WithProgress(fn func(step int, z float64)) Option {
 	return WithObserver(ProgressObserver(fn))
 }
+
+// WithAnalysisObserver registers analysis observers at construction time
+// (see AddAnalysisObserver): each receives every scheduled in-situ analysis
+// catalog Config.Analysis fires during Run.
+func WithAnalysisObserver(obs ...AnalysisObserver) Option {
+	return func(s *Simulation) { s.analysisObs = append(s.analysisObs, obs...) }
+}

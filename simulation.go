@@ -49,9 +49,10 @@ type Simulation struct {
 	// Diagnostics of the last force computation.
 	LastForce *core.Result
 
-	solver    ForceSolver
-	stepper   Stepper
-	observers []Observer
+	solver      ForceSolver
+	stepper     Stepper
+	observers   []Observer
+	analysisObs []AnalysisObserver
 }
 
 // New validates the configuration and prepares a simulation (without
@@ -291,9 +292,29 @@ func (s *Simulation) Run() error {
 		s.AInit = aStart
 	}
 	dlnA := math.Log(aFinal/aStart) / float64(s.Cfg.NSteps)
+	sched := s.Cfg.Analysis.schedule()
 	for stp := s.StepCount; stp < s.Cfg.NSteps && s.A < aFinal-1e-12; stp++ {
+		zPrev := s.Redshift()
 		if err := s.StepOnce(dlnA); err != nil {
 			return err
+		}
+		// Scheduled in-situ analysis fires on the step that crossed a
+		// requested redshift or cadence mark — stateless crossing detection
+		// on (StepCount, zPrev, zCur), so a resumed run fires on exactly the
+		// steps the uninterrupted run fires on.  It runs before a due
+		// checkpoint so one synchronize serves both; the leapfrog is closed
+		// first when the configuration asks for synchronized outputs or the
+		// block-stepped momenta sit at per-particle epochs (the same gate
+		// checkpoints use below).
+		if due := sched.Due(s.StepCount, zPrev, s.Redshift()); len(due) > 0 {
+			if s.Cfg.Analysis.Synchronize || s.Stepper().CheckpointReady(s.AMom) != nil {
+				if err := s.Synchronize(); err != nil {
+					return err
+				}
+			}
+			if err := s.runScheduledAnalysis(due); err != nil {
+				return err
+			}
 		}
 		// Periodic crash protection: the checkpoint carries the leapfrog
 		// half-step offset and the step-grid anchor, so a run restored from
@@ -314,7 +335,11 @@ func (s *Simulation) Run() error {
 			}
 		}
 	}
-	return s.Synchronize()
+	if err := s.Synchronize(); err != nil {
+		return err
+	}
+	// The end-of-run output measures the final synchronized state.
+	return s.runScheduledAnalysis(sched.End(s.StepCount))
 }
 
 // CheckpointPath is where Run writes its periodic checkpoints when
