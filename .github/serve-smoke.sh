@@ -1,0 +1,74 @@
+#!/bin/sh
+# Smoke test for cmd/2hot-serve: boot the server, drive a full
+# submit -> run -> suspend -> resume -> complete cycle through the public API
+# with plain curl, and shut the server down cleanly with SIGINT.  This is the
+# black-box counterpart to the in-process tests in internal/serve — it proves
+# the shipped binary serves the documented endpoints.
+set -eu
+
+ADDR=127.0.0.1:8037
+BASE="http://$ADDR/api"
+DATA=$(mktemp -d)
+trap 'rm -rf "$DATA"; kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+go build -o "$DATA/2hot-serve" ./cmd/2hot-serve
+"$DATA/2hot-serve" -addr "$ADDR" -data "$DATA/root" -pool 1 &
+SERVER_PID=$!
+
+# Wait for the listener.
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/stats" >/dev/null 2>&1; then break; fi
+  [ "$i" = 100 ] && { echo "server never came up"; exit 1; }
+  sleep 0.1
+done
+
+# Submit a tiny simulation (216 particles, 12 steps).
+cat > "$DATA/cfg.json" <<'EOF'
+{
+  "name": "smoke", "n_grid": 6, "box_size": 48,
+  "z_init": 19, "z_final": 9, "n_steps": 12,
+  "err_tol": 1e-3, "ws": 1, "lattice_order": 1,
+  "pm_grid": 12, "workers": 1, "seed": 7
+}
+EOF
+ID=$(curl -sf -X POST -H 'X-Tenant: smoke' --data @"$DATA/cfg.json" "$BASE/sims" \
+  | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "submit returned no id"; exit 1; }
+echo "submitted $ID"
+
+# Wait for some steps, then suspend.
+for i in $(seq 1 300); do
+  STEP=$(curl -sf "$BASE/sims/$ID/stats" | sed -n 's/.*"step": *\([0-9]*\).*/\1/p')
+  [ "${STEP:-0}" -ge 2 ] && break
+  sleep 0.1
+done
+[ "${STEP:-0}" -ge 2 ] || { echo "run never reached step 2"; exit 1; }
+curl -sf -X POST "$BASE/sims/$ID/suspend" >/dev/null
+for i in $(seq 1 300); do
+  STATE=$(curl -sf "$BASE/sims/$ID" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p')
+  [ "$STATE" = suspended ] && break
+  sleep 0.1
+done
+[ "$STATE" = suspended ] || { echo "suspend never landed (state=$STATE)"; exit 1; }
+echo "suspended at step $(curl -sf "$BASE/sims/$ID/stats" | sed -n 's/.*"step": *\([0-9]*\).*/\1/p')"
+
+# Resume and run to completion.
+curl -sf -X POST "$BASE/sims/$ID/resume" >/dev/null
+for i in $(seq 1 600); do
+  STATE=$(curl -sf "$BASE/sims/$ID" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p')
+  [ "$STATE" = completed ] && break
+  sleep 0.1
+done
+[ "$STATE" = completed ] || { echo "resumed run never completed (state=$STATE)"; exit 1; }
+
+# The stats and listing endpoints reflect the finished run.
+STATS=$(curl -sf "$BASE/sims/$ID/stats")
+echo "$STATS" | grep -q '"step": *12' || { echo "bad final stats: $STATS"; exit 1; }
+curl -sf "$BASE/sims?perPage=10" | grep -q "\"$ID\"" || { echo "listing lost the sim"; exit 1; }
+test -f "$DATA/root/smoke/$ID/smoke-final.sdf" || { echo "final artifact missing"; exit 1; }
+echo "completed: $STATS"
+
+# Graceful shutdown: SIGINT must drain and exit zero.
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID"
+echo "serve smoke OK"

@@ -48,6 +48,8 @@ func main() {
 	commOut := flag.String("comm-out", "BENCH_comm.json", "output path of the transport report")
 	analysisBench := flag.Bool("analysis", false, "benchmark the in-situ analysis pass (FOF+SO catalog, mass function, P(k)) against a force solve on the same snapshot and write a JSON report")
 	analysisOut := flag.String("analysis-out", "BENCH_analysis.json", "output path of the analysis report")
+	serveBench := flag.Bool("serve", false, "benchmark the simulation service (submit latency, multi-tenant stepping rate, SSE fan-out overhead) and write a JSON report")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path of the service report")
 	flag.Parse()
 
 	if *table3 {
@@ -98,6 +100,12 @@ func main() {
 	if *analysisBench {
 		if err := runAnalysis(*analysisOut); err != nil {
 			fmt.Fprintln(os.Stderr, "analysis:", err)
+			os.Exit(1)
+		}
+	}
+	if *serveBench {
+		if err := runServe(*serveOut, runtime.NumCPU()); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
 			os.Exit(1)
 		}
 	}

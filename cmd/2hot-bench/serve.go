@@ -1,0 +1,311 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	twohot "twohot"
+	"twohot/internal/serve"
+)
+
+// serveTenantRow is one row of the multi-tenant throughput sweep: how fast the
+// service steps when N tenants each run one simulation through the shared
+// pool.
+type serveTenantRow struct {
+	Tenants     int     `json:"tenants"`
+	TotalSteps  int     `json:"total_steps"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+}
+
+// serveSSEReport compares one served simulation without subscribers against
+// the same run with a fan-out of SSE followers attached.
+type serveSSEReport struct {
+	Subscribers int     `json:"subscribers"`
+	BaselineMs  float64 `json:"baseline_ms"`
+	FanoutMs    float64 `json:"fanout_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+type serveReport struct {
+	Timestamp           string           `json:"timestamp"`
+	Cores               int              `json:"cores"`
+	Particles           int              `json:"particles"`
+	StepsPerSim         int              `json:"steps_per_sim"`
+	PoolWorkers         int              `json:"pool_workers"`
+	SubmitToFirstStepMs float64          `json:"submit_to_first_step_ms"`
+	TenantSweep         []serveTenantRow `json:"tenant_sweep"`
+	SSE                 serveSSEReport   `json:"sse"`
+	Note                string           `json:"note"`
+}
+
+// serveBenchConfig is the workload: tiny but real, so the numbers measure the
+// service (scheduling, HTTP, streaming), not the force solver.
+func serveBenchConfig(name string, steps int) twohot.Config {
+	cfg := twohot.DefaultConfig()
+	cfg.Name = name
+	cfg.NGrid = 8
+	cfg.BoxSize = 64
+	cfg.ZInit = 19
+	cfg.ZFinal = 9
+	cfg.NSteps = steps
+	cfg.ErrTol = 1e-3
+	cfg.WS = 1
+	cfg.LatticeOrder = 1
+	cfg.PMGrid = 16
+	cfg.Workers = 1
+	cfg.Seed = 424242
+	return cfg
+}
+
+func runServe(out string, cores int) error {
+	const steps = 8
+	report := serveReport{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Cores:       cores,
+		Particles:   8 * 8 * 8,
+		StepsPerSim: steps,
+		PoolWorkers: 4,
+		Note: "single measurement per point on a shared container; at 1 CPU core " +
+			"concurrent tenants timeshare the pool, so the tenant sweep measures " +
+			"scheduler+HTTP overhead rather than parallel speedup",
+	}
+
+	// Submit-to-first-step latency: median of 5 trials against a fresh server.
+	lat, err := serveSubmitLatency(steps)
+	if err != nil {
+		return err
+	}
+	report.SubmitToFirstStepMs = lat
+
+	for _, tenants := range []int{1, 4, 16} {
+		row, err := serveTenantSweep(tenants, steps, report.PoolWorkers)
+		if err != nil {
+			return err
+		}
+		report.TenantSweep = append(report.TenantSweep, row)
+		fmt.Printf("serve: %2d tenants  %6.0f ms  %6.1f steps/s\n", tenants, row.ElapsedMs, row.StepsPerSec)
+	}
+
+	sse, err := serveSSEOverhead(steps, 16)
+	if err != nil {
+		return err
+	}
+	report.SSE = sse
+	fmt.Printf("serve: SSE x%d overhead %.1f%% (%.0f ms vs %.0f ms)\n",
+		sse.Subscribers, sse.OverheadPct, sse.FanoutMs, sse.BaselineMs)
+	fmt.Printf("serve: submit-to-first-step %.1f ms\n", report.SubmitToFirstStepMs)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		return err
+	}
+	fmt.Printf("serve: wrote %s\n", out)
+	return nil
+}
+
+// serveBenchServer boots an in-process service rooted in a throwaway dir.
+func serveBenchServer(pool int) (*serve.Server, *httptest.Server, func(), error) {
+	dir, err := os.MkdirTemp("", "2hot-serve-bench")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s, err := serve.New(serve.Options{Dir: dir, PoolWorkers: pool, QueueCap: 64})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+	ts := httptest.NewServer(s.Handler())
+	cleanup := func() {
+		ts.Close()
+		_ = s.Close()
+		os.RemoveAll(dir)
+	}
+	return s, ts, cleanup, nil
+}
+
+func serveSubmit(ts *httptest.Server, tenant string, cfg twohot.Config) (string, error) {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/api/sims", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("submit returned %d", resp.StatusCode)
+	}
+	var info serve.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", err
+	}
+	return info.ID, nil
+}
+
+func serveWait(s *serve.Server, id string, done func(serve.Info) bool) error {
+	deadline := time.Now().Add(10 * time.Minute)
+	for time.Now().Before(deadline) {
+		info, ok := s.Get(id)
+		if !ok {
+			return fmt.Errorf("sim %s vanished", id)
+		}
+		if info.State == serve.StateFailed {
+			return fmt.Errorf("sim %s failed: %s", id, info.Error)
+		}
+		if done(info) {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("timed out waiting on %s", id)
+}
+
+// serveSubmitLatency measures POST /api/sims to the first completed step, over
+// HTTP both ways, and reports the median of 5 trials.
+func serveSubmitLatency(steps int) (float64, error) {
+	s, ts, cleanup, err := serveBenchServer(1)
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+	var samples []float64
+	for trial := 0; trial < 5; trial++ {
+		start := time.Now()
+		id, err := serveSubmit(ts, "lat", serveBenchConfig("lat", steps))
+		if err != nil {
+			return 0, err
+		}
+		if err := serveWait(s, id, func(in serve.Info) bool { return in.Stats.Step >= 1 }); err != nil {
+			return 0, err
+		}
+		samples = append(samples, float64(time.Since(start).Microseconds())/1e3)
+		if err := serveWait(s, id, func(in serve.Info) bool { return in.State.Terminal() }); err != nil {
+			return 0, err
+		}
+	}
+	return median(samples), nil
+}
+
+// serveTenantSweep runs one simulation per tenant concurrently and reports the
+// aggregate stepping rate.
+func serveTenantSweep(tenants, steps, pool int) (serveTenantRow, error) {
+	s, ts, cleanup, err := serveBenchServer(pool)
+	if err != nil {
+		return serveTenantRow{}, err
+	}
+	defer cleanup()
+
+	start := time.Now()
+	ids := make([]string, tenants)
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := serveSubmit(ts, fmt.Sprintf("t%02d", i), serveBenchConfig("sweep", steps))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			ids[i] = id
+			errCh <- serveWait(s, id, func(in serve.Info) bool { return in.State == serve.StateCompleted })
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return serveTenantRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	total := tenants * steps
+	return serveTenantRow{
+		Tenants:     tenants,
+		TotalSteps:  total,
+		ElapsedMs:   float64(elapsed.Microseconds()) / 1e3,
+		StepsPerSec: float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// serveSSEOverhead times one served run bare, then the same run with a fan-out
+// of SSE subscribers draining the stream.
+func serveSSEOverhead(steps, subscribers int) (serveSSEReport, error) {
+	runOnce := func(subs int) (float64, error) {
+		s, ts, cleanup, err := serveBenchServer(1)
+		if err != nil {
+			return 0, err
+		}
+		defer cleanup()
+		start := time.Now()
+		id, err := serveSubmit(ts, "sse", serveBenchConfig("sse", steps))
+		if err != nil {
+			return 0, err
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < subs; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + "/api/sims/" + id + "/events")
+				if err != nil {
+					return
+				}
+				defer resp.Body.Close()
+				sc := bufio.NewScanner(resp.Body)
+				for sc.Scan() {
+				}
+			}()
+		}
+		if err := serveWait(s, id, func(in serve.Info) bool { return in.State == serve.StateCompleted }); err != nil {
+			return 0, err
+		}
+		wg.Wait()
+		return float64(time.Since(start).Microseconds()) / 1e3, nil
+	}
+	baseline, err := runOnce(0)
+	if err != nil {
+		return serveSSEReport{}, err
+	}
+	fanout, err := runOnce(subscribers)
+	if err != nil {
+		return serveSSEReport{}, err
+	}
+	return serveSSEReport{
+		Subscribers: subscribers,
+		BaselineMs:  baseline,
+		FanoutMs:    fanout,
+		OverheadPct: (fanout - baseline) / baseline * 100,
+	}, nil
+}
+
+func median(v []float64) float64 {
+	sorted := append([]float64(nil), v...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,79 @@
+// Command 2hot-serve exposes the simulation engine as a multi-tenant HTTP
+// service: clients POST configurations, the server schedules them onto a
+// bounded worker pool with per-tenant budgets, and every run can be listed,
+// inspected (/stats, /catalogs), streamed (SSE /events), suspended into a
+// checkpoint and later resumed bit-identically.  See README.md ("Serving
+// simulations") for the API and internal/serve for the scheduling contract.
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops accepting requests, suspends
+// every running simulation into its checkpoint and exits once the pool is
+// drained, so a restarted server can resume exactly where it left off.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"twohot/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8020", "listen address")
+	data := flag.String("data", "2hot-serve-data", "root directory for per-tenant simulation artifacts")
+	pool := flag.Int("pool", 0, "total worker budget across all running simulations (0: GOMAXPROCS)")
+	tenantWorkers := flag.Int("tenant-workers", 0, "per-tenant worker budget (0: the pool size)")
+	queue := flag.Int("queue", 64, "queued-submission capacity before 429 backpressure")
+	events := flag.Int("events", 64, "per-subscriber SSE event buffer before a slow client is dropped")
+	flag.Parse()
+
+	if err := run(*addr, serve.Options{
+		Dir:           *data,
+		PoolWorkers:   *pool,
+		TenantWorkers: *tenantWorkers,
+		QueueCap:      *queue,
+		EventBuffer:   *events,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "2hot-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, opt serve.Options) error {
+	s, err := serve.New(opt)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("2hot-serve listening on %s (data %s, queue %d)\n", addr, opt.Dir, opt.QueueCap)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		_ = s.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("2hot-serve: shutting down; suspending running simulations")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "2hot-serve: http shutdown:", err)
+	}
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("2hot-serve: drained; suspended simulations resume on next start via the API")
+	return nil
+}

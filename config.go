@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 
 	"twohot/internal/analysis"
 	"twohot/internal/core"
@@ -210,6 +211,12 @@ func DefaultConfig() Config {
 
 // Validate checks the configuration for obvious inconsistencies.
 func (c *Config) Validate() error {
+	// Name is interpolated into file paths under OutputDir (CheckpointPath,
+	// OutputPath, AnalysisPath); a separator or a ".." component would let a
+	// crafted name escape the output directory.
+	if strings.ContainsAny(c.Name, `/\`) || strings.Contains(c.Name, "..") || strings.ContainsRune(c.Name, 0) {
+		return fmt.Errorf("config: name %q must not contain path separators, \"..\" or NUL", c.Name)
+	}
 	if c.BoxSize <= 0 {
 		return fmt.Errorf("config: box_size must be positive")
 	}

@@ -65,6 +65,15 @@ func TestConfigValidate(t *testing.T) {
 		// Transport gates, unchanged.
 		{"tcp without ranks", func(c *Config) { c.Transport = "tcp" }, `transport "tcp"`},
 		{"unknown transport", func(c *Config) { c.Transport = "carrier-pigeon" }, "transport"},
+
+		// Name is interpolated into CheckpointPath/OutputPath/AnalysisPath;
+		// a crafted name must not be able to escape OutputDir.
+		{"name with slash", func(c *Config) { c.Name = "runs/box" }, "name"},
+		{"name with backslash", func(c *Config) { c.Name = `runs\box` }, "name"},
+		{"name with dotdot", func(c *Config) { c.Name = "..box" }, "name"},
+		{"name escaping output dir", func(c *Config) { c.Name = "../../etc/passwd" }, "name"},
+		{"empty name", func(c *Config) { c.Name = "" }, ""},
+		{"dotted name", func(c *Config) { c.Name = "box.v2" }, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one item of a simulation's diagnostic stream, rendered as an SSE
+// "event:"/"data:" pair by the events handler.
+type Event struct {
+	Kind string // "state", "step", "analysis"
+	Data []byte // JSON payload, marshaled once per publish
+}
+
+// broker is the bounded fan-out between the stepping loops and the event
+// streams.  Publishing never blocks: a subscriber whose buffer is full is
+// dropped (its channel closed, the drop counted) instead of stalling the
+// simulation that produced the event.  Topics are per-simulation IDs; a
+// finished topic rejects new subscribers with an already-closed channel.
+type broker struct {
+	buf int
+
+	mu      sync.Mutex
+	topics  map[string]map[chan Event]struct{}
+	done    map[string]bool
+	dropped int
+}
+
+func newBroker(buf int) *broker {
+	return &broker{
+		buf:    buf,
+		topics: map[string]map[chan Event]struct{}{},
+		done:   map[string]bool{},
+	}
+}
+
+// subscribe returns a receive channel for the topic and a cancel function.
+// The channel is closed by cancel, by a slow-subscriber drop, or when the
+// topic finishes — receivers must treat channel close as end-of-stream.
+func (b *broker) subscribe(id string) (<-chan Event, func()) {
+	ch := make(chan Event, b.buf)
+	b.mu.Lock()
+	if b.done[id] {
+		b.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	subs := b.topics[id]
+	if subs == nil {
+		subs = map[chan Event]struct{}{}
+		b.topics[id] = subs
+	}
+	subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() { b.unsubscribe(id, ch) }
+}
+
+func (b *broker) unsubscribe(id string, ch chan Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if subs, ok := b.topics[id]; ok {
+		if _, live := subs[ch]; live {
+			delete(subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// publish marshals v once and offers it to every subscriber of the topic,
+// dropping any whose buffer is full.
+func (b *broker) publish(id, kind string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	ev := Event{Kind: kind, Data: data}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.topics[id] {
+		select {
+		case ch <- ev:
+		default:
+			delete(b.topics[id], ch)
+			close(ch)
+			b.dropped++
+		}
+	}
+}
+
+// finish closes the topic: every subscriber's channel is closed and future
+// subscribers get an already-closed channel.
+func (b *broker) finish(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.topics[id] {
+		close(ch)
+	}
+	delete(b.topics, id)
+	b.done[id] = true
+}
+
+// closeAll finishes every topic (server shutdown).
+func (b *broker) closeAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, subs := range b.topics {
+		for ch := range subs {
+			close(ch)
+		}
+		delete(b.topics, id)
+		b.done[id] = true
+	}
+}
+
+func (b *broker) droppedCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"testing"
+)
+
+// TestBrokerDropsSlowSubscriber pins the bounded fan-out contract: a
+// subscriber that stops draining is dropped (channel closed, drop counted)
+// while publishing proceeds for everyone else — the stepping loop is never
+// the one that waits.
+func TestBrokerDropsSlowSubscriber(t *testing.T) {
+	b := newBroker(2)
+	slow, cancelSlow := b.subscribe("sim")
+	defer cancelSlow()
+	fast, cancelFast := b.subscribe("sim")
+	defer cancelFast()
+
+	for i := 0; i < 5; i++ {
+		b.publish("sim", "step", map[string]int{"i": i})
+		// The fast subscriber drains every event; the slow one never reads.
+		select {
+		case <-fast:
+		default:
+			t.Fatalf("publish %d did not reach the draining subscriber", i)
+		}
+	}
+	if n := b.droppedCount(); n != 1 {
+		t.Fatalf("dropped %d subscribers, want exactly the slow one", n)
+	}
+	// The slow subscriber's channel holds the buffered prefix, then closes.
+	got := 0
+	for range slow {
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("slow subscriber drained %d buffered events, want 2 (the buffer size)", got)
+	}
+}
+
+// TestBrokerFinish pins end-of-stream semantics: finish closes live
+// subscribers and later subscriptions come back already closed.
+func TestBrokerFinish(t *testing.T) {
+	b := newBroker(4)
+	ch, cancel := b.subscribe("sim")
+	defer cancel()
+	b.publish("sim", "state", "x")
+	b.finish("sim")
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("drained %d events through finish, want 1", n)
+	}
+	late, cancelLate := b.subscribe("sim")
+	defer cancelLate()
+	if _, open := <-late; open {
+		t.Fatal("subscription to a finished topic delivered an event; want an already-closed channel")
+	}
+	// Unsubscribe after finish must not double-close.
+	cancel()
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	twohot "twohot"
+)
+
+// testConfig is a tiny but real simulation: 216 particles, a handful of
+// steps, the tree solver — seconds even under the race detector.
+func testConfig(name string, steps int) twohot.Config {
+	cfg := twohot.DefaultConfig()
+	cfg.Name = name
+	cfg.NGrid = 6
+	cfg.BoxSize = 48
+	cfg.ZInit = 19
+	cfg.ZFinal = 9
+	cfg.NSteps = steps
+	cfg.ErrTol = 1e-3
+	cfg.WS = 1
+	cfg.LatticeOrder = 1
+	cfg.PMGrid = 12
+	cfg.Workers = 1
+	cfg.Seed = 999
+	return cfg
+}
+
+// newTestServer builds a Server rooted in a test temp dir.
+func newTestServer(t *testing.T, opt Options) *Server {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// waitFor polls fn until it returns true or the deadline passes.
+func waitFor(t *testing.T, what string, timeout time.Duration, fn func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if fn() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// waitState polls until the simulation reaches the wanted state.
+func waitState(t *testing.T, s *Server, id string, want State, timeout time.Duration) Info {
+	t.Helper()
+	var last Info
+	waitFor(t, string(want)+" of "+id, timeout, func() bool {
+		info, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("simulation %s disappeared while waiting for %s", id, want)
+		}
+		last = info
+		return info.State == want
+	})
+	return last
+}

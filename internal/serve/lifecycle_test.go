@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	twohot "twohot"
+	"twohot/internal/sdf"
+)
+
+// TestLifecycleSuspendResumeBitIdentical is the end-to-end serving contract,
+// driven entirely over the HTTP API: submit → run → suspend (checkpoint at a
+// step boundary) → resume (fresh Simulation in the runner, cold caches) →
+// complete, with the final state bit-identical to an uninterrupted run of
+// the same configuration.  This is the first consumer exercising
+// WriteCheckpoint/RestoreCheckpoint and the observer hooks under real
+// concurrency, so it runs under -race in CI.
+func TestLifecycleSuspendResumeBitIdentical(t *testing.T) {
+	cfg := testConfig("lifecycle", 24)
+
+	// Reference: the uninterrupted run.
+	refCfg := cfg
+	refCfg.OutputDir = t.TempDir()
+	ref, err := twohot.New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(refCfg.OutputDir, "ref-final.sdf")
+	if err := ref.WriteCheckpoint(refPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Served run with a mid-flight suspend/resume cycle.
+	root := t.TempDir()
+	s := newTestServer(t, Options{Dir: root, PoolWorkers: 1, QueueCap: 4})
+	ts := httpServer(t, s)
+	info := submitHTTP(t, ts, "alice", cfg)
+
+	// Wait until the run is past its first steps, then suspend.  The run has
+	// 24 steps; polling every millisecond reaches it long before the end.
+	waitFor(t, "step >= 2", 60*time.Second, func() bool {
+		var st struct{ Stats }
+		getJSON(t, ts.URL+"/api/sims/"+info.ID+"/stats", &st)
+		return st.Step >= 2
+	})
+	resp, err := http.Post(ts.URL+"/api/sims/"+info.ID+"/suspend", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("suspend returned %d", resp.StatusCode)
+	}
+	suspended := waitState(t, s, info.ID, StateSuspended, 60*time.Second)
+	if suspended.Stats.Step >= cfg.NSteps {
+		t.Fatalf("suspended only at step %d of %d — the cycle did not interrupt the run", suspended.Stats.Step, cfg.NSteps)
+	}
+	ckpt := filepath.Join(root, "alice", info.ID, cfg.Name+"-ckpt.sdf")
+	if _, err := sdf.Read(ckpt); err != nil {
+		t.Fatalf("suspend left no readable checkpoint: %v", err)
+	}
+
+	resp, err = http.Post(ts.URL+"/api/sims/"+info.ID+"/resume", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume returned %d", resp.StatusCode)
+	}
+	final := waitState(t, s, info.ID, StateCompleted, 120*time.Second)
+	if final.Stats.Suspends != 1 || final.Stats.Resumes != 1 {
+		t.Fatalf("lifecycle counters suspends=%d resumes=%d, want 1/1", final.Stats.Suspends, final.Stats.Resumes)
+	}
+	if final.Stats.Step != cfg.NSteps {
+		t.Fatalf("resumed run finished at step %d, want %d (must continue the original grid)", final.Stats.Step, cfg.NSteps)
+	}
+
+	// Bit-identity of the final synchronized state.
+	refSnap, err := sdf.Read(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSnap, err := sdf.Read(filepath.Join(root, "alice", info.ID, cfg.Name+"-final.sdf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSnap.ScaleFac != gotSnap.ScaleFac || refSnap.MomentumScaleFac != gotSnap.MomentumScaleFac {
+		t.Fatalf("epochs differ: a %v/%v a_mom %v/%v",
+			refSnap.ScaleFac, gotSnap.ScaleFac, refSnap.MomentumScaleFac, gotSnap.MomentumScaleFac)
+	}
+	rp, gp := refSnap.Particles, gotSnap.Particles
+	if rp.Len() != gp.Len() {
+		t.Fatalf("particle counts differ: %d vs %d", rp.Len(), gp.Len())
+	}
+	for i := range rp.Pos {
+		if rp.ID[i] != gp.ID[i] {
+			t.Fatalf("particle %d: IDs differ", i)
+		}
+		if rp.Pos[i] != gp.Pos[i] || rp.Mom[i] != gp.Mom[i] {
+			t.Fatalf("particle %d: served suspend/resume trajectory is not bit-identical (%v/%v vs %v/%v)",
+				i, rp.Pos[i], rp.Mom[i], gp.Pos[i], gp.Mom[i])
+		}
+	}
+}
+
+// TestCloseSuspendsRunning pins graceful shutdown: Close drains the pool by
+// suspending running simulations with a checkpoint, so nothing is lost.
+func TestCloseSuspendsRunning(t *testing.T) {
+	root := t.TempDir()
+	s := newTestServer(t, Options{Dir: root, PoolWorkers: 1, QueueCap: 4})
+	info, err := s.Submit("alfa", testConfig("drain", 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, info.ID, StateRunning, 30*time.Second)
+	waitFor(t, "a completed step", 30*time.Second, func() bool {
+		st, _ := s.Get(info.ID)
+		return st.Stats.Step >= 1
+	})
+	queued, err := s.Submit("alfa", testConfig("parked", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(info.ID)
+	if got.State != StateSuspended {
+		t.Fatalf("running sim drained into %q, want suspended", got.State)
+	}
+	if _, err := sdf.Read(filepath.Join(root, "alfa", info.ID, "drain-ckpt.sdf")); err != nil {
+		t.Fatalf("shutdown suspend left no readable checkpoint: %v", err)
+	}
+	parked, _ := s.Get(queued.ID)
+	if parked.State != StateSuspended {
+		t.Fatalf("queued sim drained into %q, want suspended", parked.State)
+	}
+	// Post-shutdown submissions are refused.
+	if _, err := s.Submit("alfa", testConfig("late", 2)); err == nil {
+		t.Fatal("submission accepted after Close")
+	}
+}

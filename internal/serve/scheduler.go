@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// dispatchLocked admits queued simulations until nothing more fits.  Callers
+// hold Server.mu.
+//
+// Admission is fair-share: each pass scans the tenants that have queued work
+// in a rotation starting just after the last-served tenant, admitting the
+// head of the first tenant queue whose cost fits both the free pool slots
+// and that tenant's budget.  One admission per scan keeps the rotation
+// honest — a tenant with many queued jobs gets one slot per turn, not the
+// whole pool — while FIFO order is preserved within each tenant.  A tenant
+// whose head job does not fit is skipped, never waited on, so a wide job at
+// the head of one queue cannot idle slots other tenants could use.
+func (s *Server) dispatchLocked() {
+	for s.admitOneLocked() {
+	}
+}
+
+// admitOneLocked starts at most one queued simulation; reports whether it did.
+func (s *Server) admitOneLocked() bool {
+	if s.closed {
+		return false
+	}
+	tens := s.tenantsWithWork()
+	if len(tens) == 0 {
+		return false
+	}
+	// Rotation start: the first tenant strictly after the last one served.
+	start := sort.SearchStrings(tens, s.lastServed+"\x00")
+	for i := range tens {
+		ten := tens[(start+i)%len(tens)]
+		sm := s.queue[ten][0]
+		if s.used+sm.cost > s.opt.PoolWorkers || s.tenantUse[ten]+sm.cost > s.opt.TenantWorkers {
+			continue
+		}
+		s.queue[ten] = s.queue[ten][1:]
+		s.queued--
+		s.used += sm.cost
+		s.tenantUse[ten] += sm.cost
+		if s.used > s.maxUsed {
+			s.maxUsed = s.used
+		}
+		if s.tenantUse[ten] > s.maxTenantUsed[ten] {
+			s.maxTenantUsed[ten] = s.tenantUse[ten]
+		}
+		s.lastServed = ten
+		sm.state = StateRunning
+		sm.started = time.Now()
+		ctx, cancel := context.WithCancelCause(context.Background())
+		sm.cancel = cancel
+		s.publishStateLocked(sm)
+		s.wg.Add(1)
+		go s.runSim(sm, ctx)
+		return true
+	}
+	return false
+}
+
+// releaseLocked returns a finished runner's slots to the pool and admits
+// whatever now fits; callers hold Server.mu.
+func (s *Server) releaseLocked(sm *sim) {
+	s.used -= sm.cost
+	s.tenantUse[sm.tenant] -= sm.cost
+	s.dispatchLocked()
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSoakMultiTenant is the concurrency gate for the whole subsystem: several
+// tenants submit identically-named simulations at once while seeded drivers
+// fire random suspend/resume/cancel cycles over HTTP and SSE subscribers hang
+// off the streams.  It runs under -race in CI and asserts the two invariants
+// that matter: the worker pool and per-tenant budgets are never exceeded
+// (high-water marks), and no two simulations ever share an artifact directory.
+func TestSoakMultiTenant(t *testing.T) {
+	tenants := []string{"alfa", "bravo", "charlie", "delta"}
+	perTenant := 3
+	if testing.Short() {
+		tenants = tenants[:2]
+		perTenant = 2
+	}
+
+	root := t.TempDir()
+	s := newTestServer(t, Options{Dir: root, PoolWorkers: 3, TenantWorkers: 2, QueueCap: 64})
+	ts := httpServer(t, s)
+
+	var wg sync.WaitGroup
+	idCh := make(chan string, len(tenants)*perTenant)
+	for ti, tenant := range tenants {
+		// One SSE subscriber per tenant rides along for the whole storm; it
+		// subscribes to the tenant's first sim and drains until the broker
+		// closes the stream (or drops it — both are valid under load).
+		for j := 0; j < perTenant; j++ {
+			wg.Add(1)
+			go func(tenant string, seed int64, follow bool) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				// Every sim shares one name: isolation must come from the
+				// tenant/id namespace, not from the config.
+				info := submitHTTP(t, ts, tenant, testConfig("soak", 6))
+				idCh <- info.ID
+				if follow {
+					go followEvents(t, ts, info.ID)
+				}
+				driveLifecycle(t, ts, s, info.ID, rng)
+			}(tenant, int64(ti*100+j), j == 0)
+		}
+	}
+	wg.Wait()
+	close(idCh)
+	var ids []string
+	for id := range idCh {
+		ids = append(ids, id)
+	}
+
+	// Everything must settle into a terminal-or-suspended state; resume the
+	// suspended stragglers so the final census only has terminal states.
+	for _, id := range ids {
+		waitFor(t, "settled "+id, 120*time.Second, func() bool {
+			info, ok := s.Get(id)
+			if !ok {
+				t.Fatalf("sim %s vanished", id)
+			}
+			if info.State == StateSuspended {
+				resp, err := http.Post(ts.URL+"/api/sims/"+id+"/resume", "", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				return false
+			}
+			return info.State.Terminal()
+		})
+	}
+
+	// Invariant 1: budgets were never exceeded, even transiently.
+	s.mu.Lock()
+	maxUsed := s.maxUsed
+	maxTenant := make(map[string]int, len(s.maxTenantUsed))
+	for ten, n := range s.maxTenantUsed {
+		maxTenant[ten] = n
+	}
+	s.mu.Unlock()
+	if maxUsed > s.opt.PoolWorkers {
+		t.Errorf("pool high-water mark %d exceeded PoolWorkers=%d", maxUsed, s.opt.PoolWorkers)
+	}
+	for ten, n := range maxTenant {
+		if n > s.opt.TenantWorkers {
+			t.Errorf("tenant %s high-water mark %d exceeded TenantWorkers=%d", ten, n, s.opt.TenantWorkers)
+		}
+	}
+
+	// Invariant 2: no cross-tenant artifact collisions.  Every sim has its own
+	// directory, and every completed sim left its final snapshot in it.
+	dirs := map[string]string{}
+	completed := 0
+	for _, id := range ids {
+		info, _ := s.Get(id)
+		dir := filepath.Join(root, info.Tenant, info.ID)
+		for prev, other := range dirs {
+			if other == dir {
+				t.Fatalf("sims %s and %s share directory %s", prev, id, dir)
+			}
+		}
+		dirs[id] = dir
+		if info.State == StateCompleted {
+			completed++
+			if _, err := os.Stat(filepath.Join(dir, "soak-final.sdf")); err != nil {
+				t.Errorf("completed sim %s missing final artifact: %v", id, err)
+			}
+		}
+	}
+	if completed == 0 {
+		t.Error("soak completed zero simulations — the drivers canceled everything, weakening the test")
+	}
+
+	// The paginated listing walks every record exactly once.
+	seen := map[string]bool{}
+	for page := 1; ; page++ {
+		var lr listResponse
+		getJSON(t, fmt.Sprintf("%s/api/sims?page=%d&perPage=3", ts.URL, page), &lr)
+		if len(lr.Sims) == 0 {
+			break
+		}
+		for _, info := range lr.Sims {
+			if seen[info.ID] {
+				t.Fatalf("sim %s appeared on two pages", info.ID)
+			}
+			seen[info.ID] = true
+		}
+	}
+	if len(seen) != len(ids) {
+		t.Fatalf("pagination walked %d sims, want %d", len(seen), len(ids))
+	}
+
+	// Server-level stats agree with the census.
+	var srv ServerStats
+	getJSON(t, ts.URL+"/api/stats", &srv)
+	total := 0
+	for _, n := range srv.Sims {
+		total += n
+	}
+	if total != len(ids) {
+		t.Fatalf("server stats count %d sims, want %d", total, len(ids))
+	}
+}
+
+// driveLifecycle fires a seeded random sequence of suspend/resume/cancel calls
+// at a running simulation over HTTP, then waits for it to settle.  Conflicts
+// (409) are expected — the sim may complete mid-action — and tolerated; what
+// is never tolerated is a 5xx or a hung state.
+func driveLifecycle(t *testing.T, ts *httptest.Server, s *Server, id string, rng *rand.Rand) {
+	post := func(action string) int {
+		resp, err := http.Post(ts.URL+"/api/sims/"+id+"/"+action, "", nil)
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Errorf("%s %s returned %d", action, id, resp.StatusCode)
+		}
+		return resp.StatusCode
+	}
+	cycles := 1 + rng.Intn(2)
+	for c := 0; c < cycles; c++ {
+		// Let the run make progress (or sit queued) before acting.
+		time.Sleep(time.Duration(1+rng.Intn(20)) * time.Millisecond)
+		switch rng.Intn(4) {
+		case 0: // cancel outright, ~25% of actions
+			post("cancel")
+			return
+		default:
+			post("suspend")
+			// Wait until the suspend lands (or the sim finished first).
+			deadline := time.Now().Add(60 * time.Second)
+			for time.Now().Before(deadline) {
+				info, ok := s.Get(id)
+				if !ok || info.State.Terminal() || info.State == StateSuspended {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			post("resume")
+		}
+		// Poll the stats endpoint as part of the storm.
+		var st struct{ Stats }
+		getJSON(t, ts.URL+"/api/sims/"+id+"/stats", &st)
+	}
+}
+
+// followEvents drains a simulation's SSE stream until the broker ends it.
+func followEvents(t *testing.T, ts *httptest.Server, id string) {
+	resp, err := http.Get(ts.URL + "/api/sims/" + id + "/events")
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+	}
+}

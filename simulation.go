@@ -1,6 +1,8 @@
 package twohot
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -271,7 +273,24 @@ func (s *Simulation) Synchronize() error {
 // original grid, reproducing the uninterrupted run bit for bit.  Progress
 // reporting happens through observers (WithProgress, AddObserver); the run
 // ends with a Synchronize.
-func (s *Simulation) Run() error {
+func (s *Simulation) Run() error { return s.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the context is consulted
+// once before the first step and again at every step boundary, so a cancel
+// never interrupts a step mid-flight — the simulation is always left in the
+// same state a sequence of StepOnce calls would have produced.  On
+// cancellation it returns an error wrapping context.Cause(ctx) (so
+// errors.Is(err, context.Canceled) works) without the final Synchronize;
+// the caller decides what the stop means.  In particular a suspend is
+// cancel + WriteCheckpoint: the stopped state sits on a step boundary of
+// the original grid, so a fresh Simulation restored from that checkpoint
+// and driven to completion reproduces the uninterrupted run bit for bit
+// (block-stepped multi-rung states synchronize first, exactly like Run's
+// periodic checkpoints — consult Stepper().CheckpointReady).
+func (s *Simulation) RunContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return runCanceled(ctx, s.StepCount)
+	}
 	if s.P == nil {
 		if err := s.GenerateICs(); err != nil {
 			return err
@@ -294,6 +313,9 @@ func (s *Simulation) Run() error {
 	dlnA := math.Log(aFinal/aStart) / float64(s.Cfg.NSteps)
 	sched := s.Cfg.Analysis.schedule()
 	for stp := s.StepCount; stp < s.Cfg.NSteps && s.A < aFinal-1e-12; stp++ {
+		if err := ctx.Err(); err != nil {
+			return runCanceled(ctx, s.StepCount)
+		}
 		zPrev := s.Redshift()
 		if err := s.StepOnce(dlnA); err != nil {
 			return err
@@ -340,6 +362,17 @@ func (s *Simulation) Run() error {
 	}
 	// The end-of-run output measures the final synchronized state.
 	return s.runScheduledAnalysis(sched.End(s.StepCount))
+}
+
+// runCanceled renders a RunContext cancellation: the chain always carries
+// ctx.Err() (context.Canceled / DeadlineExceeded, so errors.Is works on the
+// standard sentinels), with a distinct cancel cause surfaced in the message.
+func runCanceled(ctx context.Context, step int) error {
+	err := ctx.Err()
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(err, cause) {
+		return fmt.Errorf("twohot: run canceled at step %d (%v): %w", step, cause, err)
+	}
+	return fmt.Errorf("twohot: run canceled at step %d: %w", step, err)
 }
 
 // CheckpointPath is where Run writes its periodic checkpoints when
